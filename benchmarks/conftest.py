@@ -1,0 +1,26 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it (visible with ``-s``), saves it under ``benchmarks/results/``
+and asserts the paper's qualitative shape. Absolute numbers belong to
+the authors' testbed; shapes are what the reproduction owes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(text)
+
+
+@pytest.fixture
+def report():
+    return save_report

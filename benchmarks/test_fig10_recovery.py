@@ -1,0 +1,84 @@
+"""Figure 10: crash recovery timelines — vanilla vs RDMA vs PolarRecv.
+
+Each (scheme × workload) run kills the database mid-run, recovers it,
+and records throughput over time. Shapes from §4.3:
+
+* read-only: nobody replays anything (recovery ≈ instant for all), but
+  PolarRecv resumes from a warm pool while the others rebuild theirs;
+* read-write / write-only: recovery time PolarRecv ≪ RDMA ≪ vanilla
+  (paper: 8 s / 33 s / 110 s and 15 s / 73 s / 173 s — absolute values
+  scale with the redo volume, the ordering and rough factors carry).
+
+Note (EXPERIMENTS.md): at simulation scale, CPU-cache refill after
+restart is visible in PolarRecv's first milliseconds; at the paper's
+scale that effect is invisible next to tens of seconds of buffer
+refill.
+"""
+
+import pytest
+
+from repro.bench.recovery_exp import run_recovery_experiment
+from repro.bench.report import banner, format_series, format_table
+
+MIXES = ("read_only", "read_write", "write_only")
+SCHEMES = ("vanilla", "rdma", "polarrecv")
+
+
+def _run_all():
+    return {
+        (mix, scheme): run_recovery_experiment(scheme, mix=mix, rows=16_000)
+        for mix in MIXES
+        for scheme in SCHEMES
+    }
+
+
+def test_fig10_recovery_timelines(benchmark, report):
+    timelines = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    text = [banner("Figure 10: recovery timelines")]
+    for mix in MIXES:
+        rows = []
+        for scheme in SCHEMES:
+            tl = timelines[(mix, scheme)]
+            rows.append(
+                (
+                    scheme,
+                    tl.recovery_seconds * 1e3,
+                    tl.warmup_seconds * 1e3,
+                    (tl.recovery_seconds + tl.warmup_seconds) * 1e3,
+                    tl.pre_crash_qps / 1e3,
+                )
+            )
+        text.append(f"\n[{mix}]")
+        text.append(
+            format_table(
+                ["scheme", "recovery ms", "warmup ms", "total ms", "pre K-QPS"],
+                rows,
+            )
+        )
+        for scheme in SCHEMES:
+            text.append(
+                format_series(
+                    f"  {scheme:9s}", timelines[(mix, scheme)].series
+                )
+            )
+    report("fig10_recovery", "\n".join(text))
+
+    for mix in ("read_write", "write_only"):
+        polar = timelines[(mix, "polarrecv")]
+        rdma = timelines[(mix, "rdma")]
+        vanilla = timelines[(mix, "vanilla")]
+        # Recovery-time ordering with clear factors.
+        assert polar.recovery_seconds < rdma.recovery_seconds
+        assert rdma.recovery_seconds < vanilla.recovery_seconds
+        assert vanilla.recovery_seconds > 5 * polar.recovery_seconds
+        # End-to-end (downtime + warmup), PolarRecv wins big over vanilla.
+        assert (
+            vanilla.downtime_plus_warmup_seconds
+            > 2 * polar.downtime_plus_warmup_seconds
+        )
+    # Read-only: recovery itself is trivial for every scheme...
+    ro = {s: timelines[("read_only", s)] for s in SCHEMES}
+    for scheme in SCHEMES:
+        assert ro[scheme].recovery_seconds < 0.005
+    # ...but vanilla's cold buffer needs the longest warm-up.
+    assert ro["vanilla"].warmup_seconds > ro["polarrecv"].warmup_seconds

@@ -1,0 +1,89 @@
+"""Figure 7: pooling, sysbench point-select, 1–12 instances.
+
+Three panels: total K-QPS, average latency, RDMA/CXL bandwidth. Shape:
+the RDMA system saturates its NIC (~11 GB/s) at ~3 instances and its
+latency climbs linearly after; PolarCXLMem scales through 12 instances
+at stable latency with far lower interconnect traffic (the ~4× read
+amplification of §4.2 shows as the single-instance bandwidth ratio).
+"""
+
+import pytest
+
+from repro.bench.harness import build_pooling_setup, reset_meters
+from repro.bench.report import banner, format_table
+from repro.workloads.driver import PoolingDriver
+from repro.workloads.sysbench import SysbenchWorkload
+
+ROWS = 3000
+INSTANCES = (1, 2, 3, 4, 6, 8, 10, 12)
+
+
+def _sweep():
+    results = {}
+    for system in ("rdma", "cxl"):
+        workload = SysbenchWorkload(rows=ROWS)
+        setup = build_pooling_setup(system, max(INSTANCES), workload)
+        series = []
+        for n in INSTANCES:
+            reset_meters(setup.instances)
+            driver = PoolingDriver(
+                setup.sim,
+                setup.instances[:n],
+                workload.txn_fn("point_select"),
+                workers_per_instance=48,
+                warmup_txns=1,
+                measure_txns=6,
+            )
+            res = driver.run()
+            key = "rdma" if system == "rdma" else "cxl"
+            series.append(
+                (
+                    n,
+                    res.qps / 1e3,
+                    res.avg_latency_ns / 1e3,
+                    res.pipe_bandwidth.get(key, 0.0) / 1e9,
+                )
+            )
+        results[system] = series
+    return results
+
+
+def test_fig7_pooling_point_select(benchmark, report):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for i, n in enumerate(INSTANCES):
+        r = results["rdma"][i]
+        c = results["cxl"][i]
+        rows.append((n, r[1], c[1], r[2], c[2], r[3], c[3]))
+    table = format_table(
+        [
+            "inst",
+            "RDMA K-QPS",
+            "CXL K-QPS",
+            "RDMA lat us",
+            "CXL lat us",
+            "RDMA GB/s",
+            "CXL GB/s",
+        ],
+        rows,
+    )
+    report(
+        "fig7_pooling_point_select",
+        banner("Figure 7: pooling point-select") + "\n" + table,
+    )
+
+    rdma = {r[0]: (r[1], r[2], r[3]) for r in results["rdma"]}
+    cxl = {r[0]: (r[1], r[2], r[3]) for r in results["cxl"]}
+    # PolarCXLMem scales: 12-instance QPS >= 8x single instance.
+    assert cxl[12][0] > 8 * cxl[1][0]
+    # The RDMA system saturates: QPS at 12 < 1.5x QPS at 3.
+    assert rdma[12][0] < 1.5 * rdma[3][0]
+    # >= 2x advantage at full scale (paper: up to 2.1x... 3.3x in Fig 7).
+    assert cxl[12][0] > 2.0 * rdma[12][0]
+    # RDMA NIC pinned near its 12 GB/s ceiling at saturation.
+    assert rdma[12][2] > 9.0
+    # RDMA latency climbs past saturation; CXL latency stays flat.
+    assert rdma[12][1] > 2.0 * rdma[1][1]
+    assert cxl[12][1] < 1.3 * cxl[1][1]
+    # Read amplification: single-instance RDMA bandwidth several times CXL's.
+    assert rdma[1][2] > 3.0 * cxl[1][2]

@@ -1,0 +1,32 @@
+"""Table 1: DRAM vs CXL (±switch) load latency, local and remote NUMA.
+
+Measured through the engine's real access path (MappedMemory with a
+cold line cache, MLC-style dependent loads). Shape checks: the paper's
+headline ratios — local CXL-with-switch ≈ 3.76× local DRAM, remote ≈
+2.82×, and local-CXL ≈ 2.38× remote DRAM.
+"""
+
+from repro.bench.microbench import TABLE1_PAPER, table1_rows
+from repro.bench.report import banner, format_table
+
+
+def test_table1_load_latency(benchmark, report):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["memory", "local ns", "paper", "remote ns", "paper "],
+        [(k, lm, lp, rm, rp) for k, lm, lp, rm, rp in rows],
+    )
+    report("table1_latency", banner("Table 1: load latency") + "\n" + table)
+
+    measured = {k: (lm, rm) for k, lm, _, rm, _ in rows}
+    for kind, (paper_local, paper_remote) in TABLE1_PAPER.items():
+        local, remote = measured[kind]
+        assert abs(local - paper_local) / paper_local < 0.05
+        assert abs(remote - paper_remote) / paper_remote < 0.05
+    # Headline ratios from §2.3.
+    ratio_local = measured["cxl_switch"][0] / measured["dram"][0]
+    ratio_remote = measured["cxl_switch"][1] / measured["dram"][1]
+    cross = measured["cxl_switch"][0] / measured["dram"][1]
+    assert 3.4 < ratio_local < 4.1  # paper: 3.76x
+    assert 2.5 < ratio_remote < 3.1  # paper: 2.82x
+    assert 2.1 < cross < 2.7  # paper: 2.38x

@@ -1,0 +1,45 @@
+"""Table 2: RDMA vs CXL data transfer latency, 64 B – 16 KB.
+
+Shape checks from §2.3: CXL ~5.7×/6.1× faster at 64 B; RDMA latency is
+nearly flat with size while CXL's grows; the gap narrows at 16 KB.
+"""
+
+from repro.bench.microbench import table2_rows
+from repro.bench.report import banner, format_table
+
+
+def test_table2_transfer_latency(benchmark, report):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "size",
+            "rdma_w us",
+            "paper",
+            "cxl_w us",
+            "paper ",
+            "rdma_r us",
+            "paper  ",
+            "cxl_r us",
+            "paper   ",
+        ],
+        rows,
+    )
+    report("table2_transfer", banner("Table 2: transfer latency") + "\n" + table)
+
+    by_size = {row[0]: row for row in rows}
+    # 64 B: CXL wins by ~5.7x (write) / ~6.1x (read).
+    w64 = by_size[64]
+    assert 4.5 < w64[1] / w64[3] < 7.0
+    assert 4.5 < w64[5] / w64[7] < 7.5
+    # RDMA grows modestly from 64 B to 16 KB (paper: +37% / +57%);
+    # the simulated NIC adds pipe occupancy, so allow up to ~2x.
+    w16k = by_size[16384]
+    assert w16k[1] / w64[1] < 2.0
+    assert w16k[5] / w64[5] < 2.2
+    # CXL grows much more steeply (paper: 2.15x writes, 3.3x reads).
+    assert w16k[3] / w64[3] > 1.8
+    assert w16k[7] / w64[7] > 2.5
+    # But CXL still wins at every size.
+    for size, row in by_size.items():
+        assert row[3] < row[1], f"CXL write slower than RDMA at {size}"
+        assert row[7] < row[5], f"CXL read slower than RDMA at {size}"

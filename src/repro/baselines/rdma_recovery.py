@@ -1,0 +1,33 @@
+"""RDMA-assisted recovery: full replay, pages fetched from remote memory.
+
+The scheme used by LegoBase / PolarDB-MP-era systems (§2.2 item 2): the
+remote memory tier survives the compute host crash, so the redo replay
+reads page images from disaggregated memory (a ~7 µs RDMA read) instead
+of storage (a ~150 µs cloud-storage read) whenever the page is resident
+there. The log must still be scanned and applied in full — disaggregated
+memory accelerates page I/O but does not shorten the recovery logic,
+which is the gap PolarRecv closes.
+"""
+
+from __future__ import annotations
+
+from ..hardware.memory import AccessMeter
+from ..storage.pagestore import PageStore
+from ..storage.wal import RedoLog
+from .rdma_bufferpool import RemoteMemoryNode
+from .vanilla_recovery import ReplayStats, replay_recovery
+
+__all__ = ["rdma_assisted_recovery"]
+
+
+def rdma_assisted_recovery(
+    pool,
+    page_store: PageStore,
+    redo_log: RedoLog,
+    remote: RemoteMemoryNode,
+    meter: AccessMeter,
+) -> ReplayStats:
+    """Replay the durable log, preferring remote-memory page images."""
+    return replay_recovery(
+        pool, page_store, redo_log, remote=remote, meter=meter
+    )

@@ -1,0 +1,46 @@
+"""Experiment harness and per-figure experiment implementations."""
+
+from .harness import (
+    PoolingSetup,
+    SharingSetup,
+    SYSTEMS,
+    build_pooling_setup,
+    build_sharing_setup,
+    reset_meters,
+)
+from .microbench import (
+    TABLE1_PAPER,
+    TABLE2_PAPER,
+    measure_load_latency,
+    measure_transfer_latency,
+    table1_rows,
+    table2_rows,
+)
+from .recovery_exp import (
+    RECOVERY_SCHEMES,
+    RecoveryTimeline,
+    run_recovery_experiment,
+)
+from .report import banner, format_series, format_table, improvement_pct
+
+__all__ = [
+    "PoolingSetup",
+    "SharingSetup",
+    "SYSTEMS",
+    "build_pooling_setup",
+    "build_sharing_setup",
+    "reset_meters",
+    "TABLE1_PAPER",
+    "TABLE2_PAPER",
+    "measure_load_latency",
+    "measure_transfer_latency",
+    "table1_rows",
+    "table2_rows",
+    "RECOVERY_SCHEMES",
+    "RecoveryTimeline",
+    "run_recovery_experiment",
+    "banner",
+    "format_series",
+    "format_table",
+    "improvement_pct",
+]

@@ -1,0 +1,81 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench list          # show available experiments
+    python -m repro.bench table1 fig7   # run selected experiments
+    python -m repro.bench all           # run everything
+
+Each experiment is a pytest-benchmark test under ``benchmarks/``; this
+command locates the repository's ``benchmarks/`` directory and runs the
+matching files with output enabled. Reports also land in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+EXPERIMENTS = {
+    "table1": "test_table1_latency.py",
+    "table2": "test_table2_transfer.py",
+    "fig1": "test_fig1_lbp_sweep.py",
+    "fig3": "test_fig3_cxl_vs_dram.py",
+    "fig7": "test_fig7_pooling_point_select.py",
+    "fig8": "test_fig8_pooling_range_select.py",
+    "fig9": "test_fig9_pooling_read_write.py",
+    "fig10": "test_fig10_recovery.py",
+    "fig11": "test_fig11_sharing_point_update.py",
+    "fig12": "test_fig12_sharing_read_write.py",
+    "fig13": "test_fig13_breakdown.py",
+    "table3": "test_table3_tpcc_tatp.py",
+    "ablations": "test_ablations.py",
+}
+
+
+def _benchmarks_dir() -> pathlib.Path:
+    """Find benchmarks/ next to the repository's pyproject.toml."""
+    for base in [pathlib.Path.cwd()] + list(pathlib.Path.cwd().parents):
+        candidate = base / "benchmarks"
+        if (base / "pyproject.toml").exists() and candidate.is_dir():
+            return candidate
+    # Fallback: relative to the installed source tree (editable install).
+    here = pathlib.Path(__file__).resolve()
+    for base in here.parents:
+        candidate = base / "benchmarks"
+        if candidate.is_dir():
+            return candidate
+    raise SystemExit(
+        "could not locate the benchmarks/ directory; run from the repo root"
+    )
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print("experiments:")
+        for name, filename in EXPERIMENTS.items():
+            print(f"  {name:10s} benchmarks/{filename}")
+        print("\nusage: python -m repro.bench <experiment>... | all")
+        return 0
+    names = list(EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+    bench_dir = _benchmarks_dir()
+    files = [str(bench_dir / EXPERIMENTS[name]) for name in names]
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *files,
+        "--benchmark-only",
+        "-q",
+        "-s",
+    ]
+    return subprocess.call(command)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

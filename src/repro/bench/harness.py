@@ -1,0 +1,448 @@
+"""Experiment harness: build complete systems for each configuration.
+
+Builders assemble the full stack — cluster, hosts, pipes, memory
+manager, buffer pool, engine, loaded dataset — for each of the paper's
+three system kinds:
+
+* ``dram`` — plain local buffer pool (DRAM-BP in Fig. 3),
+* ``cxl``  — PolarCXLMem (no local buffer, everything in CXL),
+* ``rdma`` — tiered LBP + remote memory over RDMA.
+
+and for the two multi-primary sharing systems (``cxl`` / ``rdma``).
+Setup costs (loading, pool formatting) are wiped from the meters so runs
+measure steady state only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..baselines.rdma_bufferpool import RemoteMemoryNode, TieredRdmaBufferPool
+from ..baselines.rdma_sharing import RdmaDbpServer, RdmaSharedBufferPool
+from ..core.coherency import FLAG_BYTES_PER_ENTRY, FlagSlab
+from ..core.cxl_bufferpool import CxlBufferPool
+from ..core.fusion import BufferFusionServer, PageLockService
+from ..core.memmgr import CxlMemoryManager
+from ..core.hw_coherent import HwCoherentSharedPool
+from ..core.sharing import MultiPrimaryNode, SharedCxlBufferPool
+from ..core.block import pool_bytes_needed
+from ..db.bufferpool import LocalBufferPool
+from ..db.constants import PAGE_SIZE
+from ..db.engine import Engine
+from ..hardware.cache import CpuCache, LineCacheModel
+from ..hardware.host import Cluster, Host
+from ..hardware.memory import AccessMeter, WindowedMemory
+from ..sim.core import Simulator
+from ..sim.latency import CostModel, LatencyConfig
+from ..sim.rng import WorkloadRng
+from ..sim.settle import ChargeSettler
+from ..storage.pagestore import PageStore
+from ..storage.wal import RedoLog
+from ..workloads.base import Workload
+from ..workloads.driver import InstanceCtx
+
+__all__ = [
+    "PoolingSetup",
+    "build_pooling_setup",
+    "SharingSetup",
+    "build_sharing_setup",
+    "reset_meters",
+    "SYSTEMS",
+]
+
+SYSTEMS = ("dram", "cxl", "rdma")
+
+_POOL_SLACK_PAGES = 48
+_LBP_MIN_PAGES = 8
+
+
+def _preload_remote(remote: RemoteMemoryNode, store: PageStore) -> None:
+    """Populate remote memory with the whole dataset (paper §4.1: the
+    disaggregated memory is sized to hold the entire dataset)."""
+    for page_id in sorted(store.page_ids()):
+        slot = remote._claim_slot()
+        remote._slot_of[page_id] = slot
+        remote.region.write(slot * PAGE_SIZE, store.read_page_unmetered(page_id))
+
+
+@dataclass
+class PoolingSetup:
+    """Everything needed to run pooling experiments on one host."""
+
+    sim: Simulator
+    cluster: Cluster
+    host: Host
+    instances: list[InstanceCtx]
+    system: str
+    workload: Workload
+    config: LatencyConfig
+    cost: CostModel
+    manager: Optional[CxlMemoryManager] = None
+    remotes: list[RemoteMemoryNode] = field(default_factory=list)
+    extents: list = field(default_factory=list)
+
+
+def build_pooling_setup(
+    system: str,
+    n_instances: int,
+    workload: Workload,
+    lbp_fraction: float = 0.3,
+    seed: int = 7,
+    config: Optional[LatencyConfig] = None,
+    cost: Optional[CostModel] = None,
+    lru_move_period: int = 8,
+) -> PoolingSetup:
+    """Build ``n_instances`` independent database instances on one host.
+
+    Each instance owns its dataset (as in the paper's multi-instance
+    cloud host); they share the host's NIC / CXL link / WAL / client
+    pipes, which is where scalability limits come from.
+    """
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}")
+    config = config or LatencyConfig()
+    cost = cost or CostModel(latency=config)
+    sim = Simulator()
+    cluster = Cluster(sim, config=config)
+    host = cluster.add_host("host0")
+    setup = PoolingSetup(
+        sim, cluster, host, [], system, workload, config, cost
+    )
+
+    # Size the CXL pool for every instance up front (one mapped region).
+    if system == "cxl":
+        # Rough page count per instance: rows / min-leaf-fill plus slack.
+        probe = _load_one(system="probe", host=host, workload=workload, seed=seed)
+        pages_per_instance = probe + _POOL_SLACK_PAGES
+        extent_bytes = pool_bytes_needed(pages_per_instance)
+        setup.manager = CxlMemoryManager(
+            cluster.fabric,
+            extent_bytes * n_instances + (4 << 21),
+            config=config,
+        )
+    else:
+        pages_per_instance = 0
+
+    for index in range(n_instances):
+        setup.instances.append(
+            _build_instance(
+                setup,
+                index,
+                seed=seed,
+                lbp_fraction=lbp_fraction,
+                pages_per_instance=pages_per_instance,
+                lru_move_period=lru_move_period,
+            )
+        )
+    reset_meters(setup.instances)
+    return setup
+
+
+def _load_one(system: str, host: Host, workload: Workload, seed: int) -> int:
+    """Load the dataset once on a scratch engine; returns the page count."""
+    meter = AccessMeter()
+    store = PageStore(PAGE_SIZE, meter)
+    redo = RedoLog(meter)
+    region = host.alloc_dram(f"probe", 4096 * PAGE_SIZE)
+    pool = LocalBufferPool(
+        host.map_dram(region, meter, LineCacheModel()), store, 4096
+    )
+    engine = Engine("probe", pool, store, redo, meter)
+    engine.initialize()
+    workload.load(engine, WorkloadRng(seed))
+    host.dram_regions.remove(region)
+    return len(store)
+
+
+def _build_instance(
+    setup: PoolingSetup,
+    index: int,
+    seed: int,
+    lbp_fraction: float,
+    pages_per_instance: int,
+    lru_move_period: int,
+) -> InstanceCtx:
+    sim, host, workload = setup.sim, setup.host, setup.workload
+    config, cost = setup.config, setup.cost
+    name = f"{setup.system}{index}"
+    meter = AccessMeter()
+    store = PageStore(PAGE_SIZE, meter, config=config)
+    redo = RedoLog(meter, config=config)
+    rng = WorkloadRng(seed + index * 7919)
+
+    # Load via a roomy local pool, checkpoint, then attach the real pool.
+    load_region = host.alloc_dram(f"{name}.load", 4096 * PAGE_SIZE)
+    load_pool = LocalBufferPool(
+        host.map_dram(load_region, meter, LineCacheModel()), store, 4096
+    )
+    loader = Engine(name, load_pool, store, redo, meter, cost=cost)
+    loader.initialize()
+    workload.load(loader, rng.fork(0))
+    n_pages = len(store)
+    host.dram_regions.remove(load_region)
+
+    # The instance's LLC share is small relative to any real working set
+    # (a 16 MB slice against hundreds of GB); scale the timing cache so
+    # hot B-tree internals stay resident but the leaf level does not.
+    line_cache = LineCacheModel(
+        capacity_bytes=max(1 << 15, n_pages * PAGE_SIZE // 32)
+    )
+
+    if setup.system == "dram":
+        capacity = n_pages + _POOL_SLACK_PAGES
+        region = host.alloc_dram(f"{name}.bp", capacity * PAGE_SIZE)
+        pool = LocalBufferPool(
+            host.map_dram(region, meter, line_cache), store, capacity
+        )
+        volatile = [region]
+    elif setup.system == "cxl":
+        assert setup.manager is not None
+        extent = setup.manager.allocate(
+            name, pool_bytes_needed(pages_per_instance), meter
+        )
+        setup.extents.append(extent)
+        mapped = host.map_cxl(setup.manager.region, meter, line_cache)
+        mem = WindowedMemory(mapped, extent.offset, extent.size)
+        pool = CxlBufferPool(
+            mem, store, pages_per_instance, lru_move_period=lru_move_period
+        )
+        volatile = []
+    else:  # rdma
+        remote_region = setup.cluster.alloc_remote_memory(
+            f"{name}.remote", (n_pages + _POOL_SLACK_PAGES) * PAGE_SIZE
+        )
+        remote = RemoteMemoryNode(
+            remote_region, n_pages + _POOL_SLACK_PAGES, config=config
+        )
+        _preload_remote(remote, store)
+        setup.remotes.append(remote)
+        lbp_pages = max(_LBP_MIN_PAGES, int(n_pages * lbp_fraction))
+        region = host.alloc_dram(f"{name}.lbp", lbp_pages * PAGE_SIZE)
+        pool = TieredRdmaBufferPool(
+            host.map_dram(region, meter, line_cache),
+            remote,
+            store,
+            lbp_pages,
+            meter,
+        )
+        volatile = [region]
+
+    engine = Engine(
+        name, pool, store, redo, meter, cost=cost, volatile_regions=volatile
+    )
+    engine.adopt_schema(workload.schema())
+    _prewarm(pool, store)
+    return InstanceCtx(engine=engine, host=host, rng=rng.fork(1))
+
+
+def _prewarm(pool, store: PageStore) -> None:
+    """Touch every page once so runs start from a warm pool.
+
+    Tiered pools end up with their most-recently-touched LBP fraction
+    resident, exactly the steady state a long-running instance reaches.
+    Charges are wiped by :func:`reset_meters` afterwards.
+    """
+    for page_id in sorted(store.page_ids()):
+        pool.get_page(page_id)
+        pool.unpin(page_id)
+
+
+def reset_meters(instances) -> None:
+    """Wipe setup costs so a run measures steady state."""
+    for ictx in instances:
+        ictx.engine.meter.reset()
+
+
+# ---------------------------------------------------------------------------
+# Multi-primary sharing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SharingSetup:
+    """N multi-primary nodes over one shared dataset."""
+
+    sim: Simulator
+    cluster: Cluster
+    nodes: list[MultiPrimaryNode]
+    hosts: list[Host]
+    system: str
+    workload: Workload
+    config: LatencyConfig
+    cost: CostModel
+    lock_service: PageLockService
+    page_store: PageStore
+    fusion: Optional[BufferFusionServer] = None
+    dbp_server: Optional[RdmaDbpServer] = None
+    dbp_host: Optional[Host] = None
+    manager: Optional[CxlMemoryManager] = None
+
+    def total_memory_bytes(self) -> int:
+        """Memory footprint: DBP plus any per-node local buffers."""
+        dbp = len(self.page_store) * PAGE_SIZE
+        local = 0
+        for node in self.nodes:
+            pool = node.engine.buffer_pool
+            local += getattr(pool, "local_capacity_pages", 0) * PAGE_SIZE
+        return dbp + local
+
+
+def build_sharing_setup(
+    system: str,
+    n_nodes: int,
+    workload: Workload,
+    lbp_fraction: float = 0.3,
+    seed: int = 7,
+    config: Optional[LatencyConfig] = None,
+    cost: Optional[CostModel] = None,
+    lbp_min_pages: int = _LBP_MIN_PAGES,
+) -> SharingSetup:
+    """Build a multi-primary cluster over one shared dataset.
+
+    ``system`` is ``"cxl"`` (the paper's CXL 2.0 software coherency),
+    ``"rdma"`` (the PolarDB-MP baseline), or ``"cxl3"`` (modeled CXL 3.0
+    hardware coherency — the paper's forward-looking case, used by the
+    protocol-overhead ablation).
+    """
+    if system not in ("cxl", "rdma", "cxl3"):
+        raise ValueError(f"unknown sharing system {system!r}")
+    config = config or LatencyConfig()
+    cost = cost or CostModel(latency=config)
+    sim = Simulator()
+    cluster = Cluster(sim, config=config)
+
+    # Load the dataset once; durable storage is the common substrate.
+    loader_host = cluster.add_host("loader", with_rdma=False)
+    loader_meter = AccessMeter()
+    store = PageStore(PAGE_SIZE, loader_meter, config=config)
+    loader_log = RedoLog(loader_meter, config=config)
+    load_region = loader_host.alloc_dram("load", 16384 * PAGE_SIZE)
+    load_pool = LocalBufferPool(
+        loader_host.map_dram(load_region, loader_meter, LineCacheModel()),
+        store,
+        16384,
+    )
+    loader = Engine("loader", load_pool, store, loader_log, loader_meter, cost=cost)
+    loader.initialize()
+    workload.load(loader, WorkloadRng(seed))
+    n_pages = len(store)
+    loader_host.dram_regions.remove(load_region)
+
+    lock_service = PageLockService(sim, config=config)
+    schema = workload.schema()
+    setup = SharingSetup(
+        sim,
+        cluster,
+        [],
+        [],
+        system,
+        workload,
+        config,
+        cost,
+        lock_service,
+        store,
+    )
+
+    dbp_slots = n_pages + _POOL_SLACK_PAGES
+    n_flag_entries = dbp_slots
+
+    if system in ("cxl", "cxl3"):
+        manager = CxlMemoryManager(
+            cluster.fabric,
+            dbp_slots * PAGE_SIZE
+            + (n_nodes + 1) * ((n_flag_entries * FLAG_BYTES_PER_ENTRY) + (2 << 21)),
+            config=config,
+        )
+        fusion_extent = manager.allocate("fusion", dbp_slots * PAGE_SIZE)
+        fusion = BufferFusionServer(
+            manager.region, fusion_extent.offset, dbp_slots, store, config=config
+        )
+        setup.manager = manager
+        setup.fusion = fusion
+    else:
+        dbp_region = cluster.alloc_remote_memory("dbp", dbp_slots * PAGE_SIZE)
+        setup.dbp_server = RdmaDbpServer(dbp_region, dbp_slots, store, config=config)
+        # The memory node's own NIC carries every node's page traffic —
+        # a shared bottleneck the CXL fabric does not have.
+        dbp_host = cluster.add_host("dbp-server")
+        setup.dbp_host = dbp_host
+
+    for i in range(n_nodes):
+        host = cluster.add_host(f"node{i}")
+        meter = AccessMeter()
+        redo = RedoLog(meter, config=config)
+        node_store = PageStore(PAGE_SIZE, meter, config=config)
+        node_store._pages = store._pages  # shared durable storage
+        if system == "cxl3":
+            assert setup.manager is not None and setup.fusion is not None
+            pool = HwCoherentSharedPool(
+                f"node{i}",
+                setup.fusion,
+                setup.manager.region,
+                meter,
+                config=config,
+                line_cache=LineCacheModel(
+                    capacity_bytes=max(1 << 16, n_pages * PAGE_SIZE // 10)
+                ),
+            )
+        elif system == "cxl":
+            assert setup.manager is not None and setup.fusion is not None
+            slab_extent = setup.manager.allocate(
+                f"node{i}.flags", n_flag_entries * FLAG_BYTES_PER_ENTRY, meter
+            )
+            slab = FlagSlab(
+                setup.manager.region,
+                slab_extent.offset,
+                n_flag_entries,
+                meter,
+                config=config,
+            )
+            cpu_cache = CpuCache(
+                f"node{i}.cache",
+                capacity_lines=max(1 << 10, n_pages * PAGE_SIZE // 10 // 64),
+                meter=meter,
+                miss_ns=config.cxl_switch_local_ns,
+                hit_ns=18.0,
+                pipe_key="cxl",
+            )
+            pool = SharedCxlBufferPool(
+                f"node{i}",
+                setup.fusion,
+                setup.manager.region,
+                cpu_cache,
+                slab,
+                meter,
+                config=config,
+            )
+        else:
+            assert setup.dbp_server is not None
+            # Paper §4.4: the LBP is sized as a fraction of each node's
+            # *accessed* dataset — the workload knows how much of the
+            # database one node touches.
+            accessed_pages = max(
+                1, int(n_pages * workload.accessed_fraction(n_nodes))
+            )
+            lbp_pages = max(lbp_min_pages, int(accessed_pages * lbp_fraction))
+            region = host.alloc_dram(f"node{i}.lbp", lbp_pages * PAGE_SIZE)
+            pool = RdmaSharedBufferPool(
+                f"node{i}",
+                setup.dbp_server,
+                host.map_dram(region, meter, LineCacheModel()),
+                lbp_pages,
+                meter,
+            )
+        if system == "rdma" and setup.dbp_host is not None:
+            # RDMA to the DBP traverses the node NIC *and* the memory
+            # node's NIC; the latter is shared by every node.
+            assert setup.dbp_host.nic is not None and host.nic is not None
+            host.pipes["rdma"] = [host.nic.data_pipe, setup.dbp_host.nic.data_pipe]
+            host.pipes["rdma_ops"] = [host.nic.ops_pipe, setup.dbp_host.nic.ops_pipe]
+        engine = Engine(f"node{i}", pool, node_store, redo, meter, cost=cost)
+        engine.adopt_schema(schema)
+        settler = ChargeSettler(sim, meter, host.pipes)
+        setup.nodes.append(
+            MultiPrimaryNode(f"node{i}", engine, lock_service, settler)
+        )
+        setup.hosts.append(host)
+    return setup

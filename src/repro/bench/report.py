@@ -1,0 +1,66 @@
+"""Formatting helpers for benchmark output.
+
+Benchmarks print the same rows/series the paper reports, as aligned
+ASCII tables, so ``pytest benchmarks/ --benchmark-only -s`` regenerates
+a readable version of every table and figure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "improvement_pct", "banner"]
+
+
+def banner(title: str) -> str:
+    rule = "=" * max(64, len(title) + 4)
+    return f"\n{rule}\n  {title}\n{rule}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Align columns; floats get 2 decimals, everything else str()."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, series: Sequence[tuple[float, float]], y_unit: str = "K-QPS"
+) -> str:
+    """A compact sparkline-ish rendering of a time series."""
+    if not series:
+        return f"{name}: (empty)"
+    peak = max(value for _, value in series) or 1.0
+    blocks = " ▁▂▃▄▅▆▇█"
+    chars = "".join(
+        blocks[min(8, int(9 * value / peak))] if peak else " "
+        for _, value in series
+    )
+    return (
+        f"{name}: [{chars}] peak={peak / 1e3:.0f}{y_unit} "
+        f"span={series[0][0]:.2f}s..{series[-1][0]:.2f}s"
+    )
+
+
+def improvement_pct(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` in percent."""
+    if baseline <= 0:
+        return 0.0
+    return (improved / baseline - 1.0) * 100.0
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

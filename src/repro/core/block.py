@@ -1,0 +1,223 @@
+"""CXL block layout: a page plus its metadata, both in CXL memory.
+
+Paper §3.1/§3.2 (Fig. 4): the buffer pool's CXL extent is divided into
+blocks; each block stores one database page *and* the metadata needed to
+rebuild the pool after a crash — page id, lock state, and the LRU
+prev/next links. Because all of it lives in CXL memory (independent
+PSU), PolarRecv can reconstruct a consistent warm buffer pool without
+replaying the world.
+
+Extent layout::
+
+    [pool header (one cache-line-aligned header block)]
+    [block 0][block 1] ... [block n-1]
+
+Block layout (metadata packed into one 64-byte cache line)::
+
+    0   u64  page_id (BLOCK_NO_PAGE when free)
+    8   u8   lock_state (1 = write-latched; §3.2 partial-update detection)
+    9   u8   in_use (1 = holds a page)
+    10  u8   dirty_hint (1 = modified since last storage flush)
+    16  u64  prev block index (BLOCK_NIL at LRU head / in free list)
+    24  u64  next block index (BLOCK_NIL at LRU tail)
+    64  ...  page data (PAGE_SIZE bytes)
+
+The page's LSN is *not* duplicated in block metadata: it lives at byte 8
+of the page data, which is itself in CXL, so recovery reads it from
+there — same recoverability as the paper's explicit ``lsn`` field.
+
+Pool header layout::
+
+    0   u64  magic
+    8   u64  n_blocks
+    16  u64  free list head (block index, BLOCK_NIL = empty)
+    24  u64  LRU head
+    32  u64  LRU tail
+    40  u8   lru_mutation_flag (set while LRU links are being rewired)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..db.constants import OFF_LSN, PAGE_SIZE
+
+__all__ = [
+    "BLOCK_META_SIZE",
+    "BLOCK_SIZE",
+    "BLOCK_NIL",
+    "BLOCK_NO_PAGE",
+    "POOL_HEADER_SIZE",
+    "POOL_MAGIC",
+    "BlockMeta",
+    "PoolHeader",
+    "block_offset",
+    "block_data_offset",
+    "pool_bytes_needed",
+]
+
+BLOCK_META_SIZE = 64
+BLOCK_SIZE = BLOCK_META_SIZE + PAGE_SIZE
+BLOCK_NIL = 0xFFFFFFFFFFFFFFFF
+BLOCK_NO_PAGE = 0xFFFFFFFFFFFFFFFF
+
+POOL_HEADER_SIZE = 64
+POOL_MAGIC = 0x504C43584C4D454D  # "PLCXLMEM"
+
+_U64 = struct.Struct("<Q")
+
+_OFF_PAGE_ID = 0
+_OFF_LOCK_STATE = 8
+_OFF_IN_USE = 9
+_OFF_DIRTY_HINT = 10
+_OFF_PREV = 16
+_OFF_NEXT = 24
+
+_HDR_MAGIC = 0
+_HDR_N_BLOCKS = 8
+_HDR_FREE_HEAD = 16
+_HDR_LRU_HEAD = 24
+_HDR_LRU_TAIL = 32
+_HDR_LRU_FLAG = 40
+
+
+def pool_bytes_needed(n_blocks: int) -> int:
+    """Extent size for a pool of ``n_blocks`` blocks."""
+    return POOL_HEADER_SIZE + n_blocks * BLOCK_SIZE
+
+
+def block_offset(index: int) -> int:
+    """Extent-relative offset of block ``index``'s metadata."""
+    return POOL_HEADER_SIZE + index * BLOCK_SIZE
+
+
+def block_data_offset(index: int) -> int:
+    """Extent-relative offset of block ``index``'s page data."""
+    return block_offset(index) + BLOCK_META_SIZE
+
+
+class _Fields:
+    """Shared u64/u8 accessors over a mapped window at a base offset."""
+
+    __slots__ = ("mapped", "base")
+
+    def __init__(self, mapped, base: int) -> None:
+        self.mapped = mapped
+        self.base = base
+
+    def _read_u64(self, off: int) -> int:
+        return _U64.unpack(self.mapped.read(self.base + off, 8))[0]
+
+    def _write_u64(self, off: int, value: int) -> None:
+        self.mapped.write(self.base + off, _U64.pack(value))
+
+    def _read_u8(self, off: int) -> int:
+        return self.mapped.read(self.base + off, 1)[0]
+
+    def _write_u8(self, off: int, value: int) -> None:
+        self.mapped.write(self.base + off, bytes([value]))
+
+
+class BlockMeta(_Fields):
+    """Typed view of one block's metadata line in CXL memory."""
+
+    def __init__(self, mapped, index: int) -> None:
+        super().__init__(mapped, block_offset(index))
+        self.index = index
+
+    @property
+    def page_id(self) -> int:
+        return self._read_u64(_OFF_PAGE_ID)
+
+    def set_page_id(self, value: int) -> None:
+        self._write_u64(_OFF_PAGE_ID, value)
+
+    @property
+    def lock_state(self) -> int:
+        return self._read_u8(_OFF_LOCK_STATE)
+
+    def set_lock_state(self, value: int) -> None:
+        self._write_u8(_OFF_LOCK_STATE, value)
+
+    @property
+    def in_use(self) -> bool:
+        return self._read_u8(_OFF_IN_USE) != 0
+
+    def set_in_use(self, value: bool) -> None:
+        self._write_u8(_OFF_IN_USE, 1 if value else 0)
+
+    @property
+    def dirty_hint(self) -> bool:
+        return self._read_u8(_OFF_DIRTY_HINT) != 0
+
+    def set_dirty_hint(self, value: bool) -> None:
+        self._write_u8(_OFF_DIRTY_HINT, 1 if value else 0)
+
+    @property
+    def prev(self) -> int:
+        return self._read_u64(_OFF_PREV)
+
+    def set_prev(self, value: int) -> None:
+        self._write_u64(_OFF_PREV, value)
+
+    @property
+    def next(self) -> int:
+        return self._read_u64(_OFF_NEXT)
+
+    def set_next(self, value: int) -> None:
+        self._write_u64(_OFF_NEXT, value)
+
+    def page_lsn(self) -> int:
+        """The page's LSN, read from the page header inside the block."""
+        return _U64.unpack(
+            self.mapped.read(block_data_offset(self.index) + OFF_LSN, 8)
+        )[0]
+
+
+class PoolHeader(_Fields):
+    """Typed view of the pool header in CXL memory."""
+
+    def __init__(self, mapped) -> None:
+        super().__init__(mapped, 0)
+
+    @property
+    def magic(self) -> int:
+        return self._read_u64(_HDR_MAGIC)
+
+    def set_magic(self, value: int) -> None:
+        self._write_u64(_HDR_MAGIC, value)
+
+    @property
+    def n_blocks(self) -> int:
+        return self._read_u64(_HDR_N_BLOCKS)
+
+    def set_n_blocks(self, value: int) -> None:
+        self._write_u64(_HDR_N_BLOCKS, value)
+
+    @property
+    def free_head(self) -> int:
+        return self._read_u64(_HDR_FREE_HEAD)
+
+    def set_free_head(self, value: int) -> None:
+        self._write_u64(_HDR_FREE_HEAD, value)
+
+    @property
+    def lru_head(self) -> int:
+        return self._read_u64(_HDR_LRU_HEAD)
+
+    def set_lru_head(self, value: int) -> None:
+        self._write_u64(_HDR_LRU_HEAD, value)
+
+    @property
+    def lru_tail(self) -> int:
+        return self._read_u64(_HDR_LRU_TAIL)
+
+    def set_lru_tail(self, value: int) -> None:
+        self._write_u64(_HDR_LRU_TAIL, value)
+
+    @property
+    def lru_mutation_flag(self) -> bool:
+        return self._read_u8(_HDR_LRU_FLAG) != 0
+
+    def set_lru_mutation_flag(self, value: bool) -> None:
+        self._write_u8(_HDR_LRU_FLAG, 1 if value else 0)

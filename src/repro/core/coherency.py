@@ -1,0 +1,105 @@
+"""Per-node coherency flags in CXL memory (§3.3).
+
+CXL 2.0 has no cross-host hardware cache coherency, so the sharing
+protocol keeps two one-byte flags per (node, page-metadata entry) in CXL
+memory:
+
+* ``invalid`` — set by the buffer fusion server when another node
+  modified the page; tells this node to invalidate its CPU cache for
+  the page before the next read.
+* ``removal`` — set by the fusion server when it recycled the page's
+  CXL slot; tells this node its cached CXL address is stale and a new
+  one must be requested over RPC.
+
+Flag *stores* (by the fusion server) are single CXL memory stores — "a
+few hundred nanoseconds" in the paper. Flag *reads* (by nodes) must not
+be served from the node's CPU cache, or a store by the server would
+never become visible; they are modeled as uncached CXL reads paying the
+switch load latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hardware.memory import AccessMeter, MemoryRegion
+from ..sim.latency import LatencyConfig
+
+__all__ = ["FlagSlab", "FLAG_BYTES_PER_ENTRY", "set_remote_flag"]
+
+FLAG_BYTES_PER_ENTRY = 2
+_INVALID = 0
+_REMOVAL = 1
+
+
+def set_remote_flag(
+    region: MemoryRegion,
+    addr: int,
+    meter: Optional[AccessMeter],
+    config: LatencyConfig,
+    value: bool = True,
+) -> None:
+    """One CXL store to a flag byte, charged to the acting meter."""
+    region.write(addr, b"\x01" if value else b"\x00")
+    if meter is not None:
+        meter.charge_ns(config.cxl_flag_store_ns)
+        meter.count("flag_stores")
+
+
+class FlagSlab:
+    """One node's array of (invalid, removal) flag pairs in CXL memory."""
+
+    def __init__(
+        self,
+        region: MemoryRegion,
+        base: int,
+        n_entries: int,
+        meter: AccessMeter,
+        config: Optional[LatencyConfig] = None,
+    ) -> None:
+        if base + n_entries * FLAG_BYTES_PER_ENTRY > region.size:
+            raise ValueError("flag slab outside the region")
+        self.region = region
+        self.base = base
+        self.n_entries = n_entries
+        self.meter = meter
+        self.config = config or LatencyConfig()
+        # Flags start clear.
+        region.write(base, b"\x00" * (n_entries * FLAG_BYTES_PER_ENTRY))
+
+    # -- addresses registered with the fusion server ---------------------------------
+
+    def invalid_addr(self, entry: int) -> int:
+        self._check(entry)
+        return self.base + entry * FLAG_BYTES_PER_ENTRY + _INVALID
+
+    def removal_addr(self, entry: int) -> int:
+        self._check(entry)
+        return self.base + entry * FLAG_BYTES_PER_ENTRY + _REMOVAL
+
+    # -- node-side reads (uncached CXL loads) ------------------------------------------
+
+    def read_invalid(self, entry: int) -> bool:
+        return self._read_flag(self.invalid_addr(entry))
+
+    def read_removal(self, entry: int) -> bool:
+        return self._read_flag(self.removal_addr(entry))
+
+    def clear_invalid(self, entry: int) -> None:
+        set_remote_flag(
+            self.region, self.invalid_addr(entry), self.meter, self.config, False
+        )
+
+    def clear_removal(self, entry: int) -> None:
+        set_remote_flag(
+            self.region, self.removal_addr(entry), self.meter, self.config, False
+        )
+
+    def _read_flag(self, addr: int) -> bool:
+        self.meter.charge_ns(self.config.cxl_switch_local_ns)
+        self.meter.count("flag_reads")
+        return self.region.read(addr, 1) != b"\x00"
+
+    def _check(self, entry: int) -> None:
+        if not 0 <= entry < self.n_entries:
+            raise IndexError(f"flag entry {entry} out of range")

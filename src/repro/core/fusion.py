@@ -1,0 +1,244 @@
+"""The buffer fusion server and the distributed page-lock service (§3.3).
+
+The buffer fusion server owns the distributed buffer pool (DBP)
+metadata: which CXL page slot holds which page, which nodes have the
+page active, each active node's invalid/removal flag addresses, and the
+DBP-level LRU for background recycling. Nodes talk to it over RPC
+(charged per call); flag pushes are single CXL stores.
+
+The page-lock service provides the distributed read/write page locks
+that both the CXL and the RDMA sharing designs rely on for concurrency
+control (PolarDB-MP style). Locks are simulation resources, so
+contention shows up as virtual-time waiting — the effect that caps
+throughput at high shared-data percentages in Figures 11–13.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..db.constants import PAGE_SIZE
+from ..hardware.memory import AccessMeter, MemoryRegion
+from ..sim.core import Simulator
+from ..sim.resources import RWLock
+from ..sim.latency import LatencyConfig
+from ..storage.pagestore import PageStore
+from .coherency import set_remote_flag
+
+__all__ = ["PageLockService", "BufferFusionServer", "FusionEntry"]
+
+
+class PageLockService:
+    """Distributed page read/write locks, one RWLock per page id."""
+
+    def __init__(self, sim: Simulator, config: Optional[LatencyConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or LatencyConfig()
+        self._locks: dict[int, RWLock] = {}
+        self.acquires = 0
+
+    def _lock(self, page_id: int) -> RWLock:
+        lock = self._locks.get(page_id)
+        if lock is None:
+            lock = RWLock(self.sim, name=f"page{page_id}")
+            self._locks[page_id] = lock
+        return lock
+
+    def lock_read(self, page_id: int) -> Generator:
+        """Process step: acquire the page's read lock (RPC + wait)."""
+        self.acquires += 1
+        yield self.sim.timeout(int(self.config.lock_rpc_ns))
+        lock = self._lock(page_id)
+        blocked = lock.read_would_block()
+        yield lock.acquire_read()
+        if blocked:
+            # The thread slept; pay the reschedule/context-switch cost.
+            yield self.sim.timeout(int(self.config.lock_wakeup_ns))
+
+    def unlock_read(self, page_id: int) -> None:
+        self._lock(page_id).release_read()
+
+    def lock_write(self, page_id: int) -> Generator:
+        """Process step: acquire the page's write lock (RPC + wait)."""
+        self.acquires += 1
+        yield self.sim.timeout(int(self.config.lock_rpc_ns))
+        lock = self._lock(page_id)
+        blocked = lock.write_would_block()
+        yield lock.acquire_write()
+        if blocked:
+            yield self.sim.timeout(int(self.config.lock_wakeup_ns))
+
+    def unlock_write(self, page_id: int) -> None:
+        self._lock(page_id).release_write()
+
+    def is_write_locked(self, page_id: int) -> bool:
+        lock = self._locks.get(page_id)
+        return lock is not None and lock.held
+
+    @property
+    def contended_acquires(self) -> int:
+        return sum(lock.contended_acquires for lock in self._locks.values())
+
+
+@dataclass
+class FusionEntry:
+    """DBP metadata for one page."""
+
+    slot: int
+    dirty: bool = False  # DBP copy newer than storage
+    # node_id -> (invalid flag addr, removal flag addr)
+    active: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+
+class BufferFusionServer:
+    """Owns DBP page slots in CXL memory and their metadata."""
+
+    def __init__(
+        self,
+        region: MemoryRegion,
+        pages_base: int,
+        n_slots: int,
+        page_store: PageStore,
+        config: Optional[LatencyConfig] = None,
+    ) -> None:
+        if pages_base + n_slots * PAGE_SIZE > region.size:
+            raise ValueError("page slots outside the region")
+        self.region = region
+        self.pages_base = pages_base
+        self.n_slots = n_slots
+        self.page_store = page_store
+        self.config = config or LatencyConfig()
+        self._entries: OrderedDict[int, FusionEntry] = OrderedDict()  # LRU order
+        self._free = list(range(n_slots - 1, -1, -1))
+        self.rpcs = 0
+        self.pages_loaded = 0
+        self.pages_recycled = 0
+        self.invalidations_pushed = 0
+
+    # -- node RPCs -----------------------------------------------------------------------
+
+    def request_page(
+        self,
+        page_id: int,
+        node_id: str,
+        invalid_addr: int,
+        removal_addr: int,
+        meter: AccessMeter,
+    ) -> int:
+        """RPC: register interest in a page; returns its data offset.
+
+        Loads the page from storage into a DBP slot on first touch
+        (charged to the requesting node), recycling cold slots if the
+        free list is empty.
+        """
+        self.rpcs += 1
+        meter.charge_ns(self.config.rpc_base_ns)
+        meter.count("fusion_rpcs")
+        entry = self._entries.get(page_id)
+        if entry is None:
+            slot = self._claim_slot(meter)
+            image = self.page_store.read_page_unmetered(page_id)
+            meter.charge_transfer(
+                "storage", PAGE_SIZE, base_ns=self.config.storage_read_base_ns
+            )
+            self.region.write(self.data_offset_of_slot(slot), image)
+            meter.charge_ns(self.config.cxl_write_ns(PAGE_SIZE))
+            meter.charge_transfer("cxl", PAGE_SIZE)
+            entry = FusionEntry(slot)
+            self._entries[page_id] = entry
+            self.pages_loaded += 1
+        self._entries.move_to_end(page_id)
+        entry.active[node_id] = (invalid_addr, removal_addr)
+        return self.data_offset_of_slot(entry.slot)
+
+    def note_touch(self, page_id: int) -> None:
+        """Cheap LRU maintenance on the DBP (no RPC — piggybacked)."""
+        if page_id in self._entries:
+            self._entries.move_to_end(page_id)
+
+    def on_write_release(
+        self, page_id: int, writer_node: str, meter: AccessMeter
+    ) -> int:
+        """A node released a write lock after flushing its cache lines.
+
+        Sets the ``invalid`` flag of every *other* active node — one CXL
+        store each — and marks the DBP copy dirty versus storage.
+        Returns the number of invalidations pushed.
+        """
+        entry = self._entries.get(page_id)
+        if entry is None:
+            raise KeyError(f"page {page_id} not in the DBP")
+        entry.dirty = True
+        pushed = 0
+        for node_id, (invalid_addr, _) in entry.active.items():
+            if node_id == writer_node or not invalid_addr:
+                # Address 0 = the node registered no flags (hardware-
+                # coherent mode, repro.core.hw_coherent).
+                continue
+            set_remote_flag(self.region, invalid_addr, meter, self.config)
+            pushed += 1
+        self.invalidations_pushed += pushed
+        return pushed
+
+    def deregister(self, page_id: int, node_id: str) -> None:
+        entry = self._entries.get(page_id)
+        if entry is not None:
+            entry.active.pop(node_id, None)
+
+    # -- background recycling ----------------------------------------------------------------
+
+    def recycle(
+        self,
+        count: int,
+        meter: AccessMeter,
+        lock_service: Optional[PageLockService] = None,
+    ) -> list[int]:
+        """Move up to ``count`` cold pages back to the free list.
+
+        Skips pages whose distributed lock is currently held (the paper's
+        exclusive-lock guard). Dirty pages are written to storage first.
+        Sets the ``removal`` flag for every node that had the page
+        active. Returns the recycled page ids.
+        """
+        recycled: list[int] = []
+        for page_id in list(self._entries):
+            if len(recycled) >= count:
+                break
+            if lock_service is not None and lock_service.is_write_locked(page_id):
+                continue
+            entry = self._entries.pop(page_id)
+            if entry.dirty:
+                image = self.region.read(self.data_offset_of_slot(entry.slot), PAGE_SIZE)
+                self.page_store.write_page(page_id, image)
+            for _, (_, removal_addr) in entry.active.items():
+                if removal_addr:
+                    set_remote_flag(self.region, removal_addr, meter, self.config)
+            self._free.append(entry.slot)
+            recycled.append(page_id)
+            self.pages_recycled += 1
+        return recycled
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    def data_offset_of_slot(self, slot: int) -> int:
+        return self.pages_base + slot * PAGE_SIZE
+
+    def has_page(self, page_id: int) -> bool:
+        return page_id in self._entries
+
+    def entry_of(self, page_id: int) -> FusionEntry:
+        return self._entries[page_id]
+
+    def _claim_slot(self, meter: AccessMeter) -> int:
+        if self._free:
+            return self._free.pop()
+        recycled = self.recycle(max(1, self.n_slots // 64), meter)
+        if not recycled or not self._free:
+            raise RuntimeError("DBP out of page slots")
+        return self._free.pop()
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,230 @@
+"""Buffer pool interface and the plain local-DRAM implementation.
+
+Three buffer pools implement this interface across the repository:
+
+* :class:`LocalBufferPool` (here) — all frames in host DRAM; the
+  DRAM-BP baseline of Figure 3 and the substrate of the vanilla engine.
+* :class:`repro.baselines.rdma_bufferpool.TieredRdmaBufferPool` — a
+  DRAM local buffer pool backed by remote memory over RDMA (the paper's
+  main baseline).
+* :class:`repro.core.cxl_bufferpool.CxlBufferPool` — PolarCXLMem: every
+  frame and its metadata live directly in switch-attached CXL memory.
+
+The transaction engine (B-tree, tables, transactions) sees only this
+interface; swapping pools requires no engine changes — the property the
+paper highlights as key for a commercially deployable design (§3.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Optional
+
+from ..hardware.memory import MappedMemory
+from ..storage.pagestore import PageStore
+from .constants import PAGE_SIZE
+from .page import PageView, format_empty_page
+
+__all__ = ["BufferPool", "LocalBufferPool", "OffsetAccessor", "BufferPoolFullError"]
+
+
+class BufferPoolFullError(RuntimeError):
+    """All frames are pinned; nothing can be evicted."""
+
+
+class OffsetAccessor:
+    """A page accessor over a metered memory window at a fixed base."""
+
+    __slots__ = ("mapped", "base")
+
+    def __init__(self, mapped: MappedMemory, base: int) -> None:
+        self.mapped = mapped
+        self.base = base
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        return self.mapped.read(self.base + offset, nbytes)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.mapped.write(self.base + offset, data)
+
+
+class BufferPool(ABC):
+    """What the transaction engine requires of any buffer pool."""
+
+    page_size: int = PAGE_SIZE
+
+    @abstractmethod
+    def get_page(self, page_id: int) -> PageView:
+        """Pin and return a page, loading it on a miss."""
+
+    @abstractmethod
+    def new_page(self, page_id: int, page_type: int, level: int = 0) -> PageView:
+        """Pin and return a freshly formatted page (no storage read)."""
+
+    @abstractmethod
+    def unpin(self, page_id: int) -> None:
+        """Release one pin; unpinned pages become eviction candidates."""
+
+    @abstractmethod
+    def contains(self, page_id: int) -> bool:
+        """Whether the page is currently resident."""
+
+    @abstractmethod
+    def mark_dirty(self, page_id: int) -> None:
+        """Note that the resident copy is newer than storage."""
+
+    @abstractmethod
+    def flush_page(self, page_id: int) -> None:
+        """Write the resident copy to storage and clear its dirty bit."""
+
+    @abstractmethod
+    def flush_dirty_pages(self) -> int:
+        """Flush everything dirty; returns the number of pages written."""
+
+    @abstractmethod
+    def resident_page_ids(self) -> list[int]:
+        """Pages currently resident (diagnostics and recovery)."""
+
+    def note_write_latch(self, page_id: int, held: bool) -> None:
+        """Hook: a write latch was taken/released on a resident page.
+
+        The CXL pool persists this in block metadata so PolarRecv can
+        spot pages that were mid-update at crash time. Default: no-op.
+        """
+
+    def note_lru_touch(self, page_id: int) -> None:
+        """Hook: the page was used (LRU maintenance). Default: no-op."""
+
+
+class LocalBufferPool(BufferPool):
+    """All frames in a volatile DRAM region; evicts dirty pages to storage."""
+
+    def __init__(
+        self,
+        mapped: MappedMemory,
+        page_store: PageStore,
+        capacity_pages: int,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("capacity must be positive")
+        if mapped.region.size < capacity_pages * PAGE_SIZE:
+            raise ValueError("backing region smaller than the frame array")
+        self.mapped = mapped
+        self.page_store = page_store
+        self.capacity_pages = capacity_pages
+        self._frame_of: dict[int, int] = {}
+        self._free_frames = list(range(capacity_pages - 1, -1, -1))
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self._dirty: set[int] = set()
+        self._pins: dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- interface ------------------------------------------------------------------
+
+    def get_page(self, page_id: int) -> PageView:
+        frame = self._frame_of.get(page_id)
+        if frame is None:
+            self.misses += 1
+            frame = self._claim_frame()
+            image = self.page_store.read_page(page_id)
+            self.mapped.write(frame * PAGE_SIZE, image)
+            self._frame_of[page_id] = frame
+        else:
+            self.hits += 1
+        self._touch(page_id)
+        self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        return self._view(page_id, frame)
+
+    def new_page(self, page_id: int, page_type: int, level: int = 0) -> PageView:
+        if page_id in self._frame_of:
+            raise ValueError(f"page {page_id} already resident")
+        frame = self._claim_frame()
+        self.mapped.write(frame * PAGE_SIZE, format_empty_page(page_id, page_type, level))
+        self._frame_of[page_id] = frame
+        self._dirty.add(page_id)
+        self._touch(page_id)
+        self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        return self._view(page_id, frame)
+
+    def install_page(self, page_id: int, image: bytes, dirty: bool = True) -> None:
+        """Recovery: place a rebuilt page image directly into a frame."""
+        frame = self._frame_of.get(page_id)
+        if frame is None:
+            frame = self._claim_frame()
+            self._frame_of[page_id] = frame
+        self.mapped.write(frame * PAGE_SIZE, image)
+        if dirty:
+            self._dirty.add(page_id)
+        self._touch(page_id)
+
+    def unpin(self, page_id: int) -> None:
+        count = self._pins.get(page_id, 0)
+        if count <= 0:
+            raise RuntimeError(f"unpin of unpinned page {page_id}")
+        if count == 1:
+            del self._pins[page_id]
+        else:
+            self._pins[page_id] = count - 1
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._frame_of
+
+    def mark_dirty(self, page_id: int) -> None:
+        if page_id not in self._frame_of:
+            raise KeyError(f"page {page_id} not resident")
+        self._dirty.add(page_id)
+
+    def flush_page(self, page_id: int) -> None:
+        frame = self._frame_of[page_id]
+        image = self.mapped.read(frame * PAGE_SIZE, PAGE_SIZE)
+        self.page_store.write_page(page_id, image)
+        self._dirty.discard(page_id)
+
+    def flush_dirty_pages(self) -> int:
+        dirty = sorted(self._dirty)
+        for page_id in dirty:
+            self.flush_page(page_id)
+        return len(dirty)
+
+    def resident_page_ids(self) -> list[int]:
+        return list(self._frame_of)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _view(self, page_id: int, frame: Optional[int] = None) -> PageView:
+        if frame is None:
+            frame = self._frame_of[page_id]
+        return PageView(page_id, OffsetAccessor(self.mapped, frame * PAGE_SIZE), self)
+
+    def _touch(self, page_id: int) -> None:
+        self._lru[page_id] = None
+        self._lru.move_to_end(page_id)
+
+    def _claim_frame(self) -> int:
+        if self._free_frames:
+            return self._free_frames.pop()
+        return self._evict_one()
+
+    def _evict_one(self) -> int:
+        for victim in self._lru:
+            if self._pins.get(victim, 0) == 0:
+                break
+        else:
+            raise BufferPoolFullError("every resident page is pinned")
+        if victim in self._dirty:
+            self.flush_page(victim)
+        frame = self._frame_of.pop(victim)
+        del self._lru[victim]
+        self.evictions += 1
+        return frame
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._frame_of)

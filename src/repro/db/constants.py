@@ -1,0 +1,82 @@
+"""On-page layout constants shared by the engine, buffer pools and recovery.
+
+Every database page is 16 KB (PolarDB/InnoDB default, and the transfer
+unit whose movement causes the RDMA read/write amplification the paper
+measures). The 32-byte page header is:
+
+====== ===== =====================================================
+offset bytes field
+====== ===== =====================================================
+0      8     page_id (u64)
+8      8     lsn (u64) — LSN of the latest applied redo record
+16     1     page_type (free / leaf / internal / meta)
+17     1     level — B-tree level, 0 for leaves
+18     2     nrecs (u16) — record count
+20     8     next_leaf (u64) — leaf sibling chain, 0 = none
+28     2     heap_count (u16) — physical records in the heap area (leaves)
+30     2     first_free (u16) — head of the freed-slot list, 0xFFFF = none
+====== ===== =====================================================
+
+Leaf pages use a slot-directory layout: fixed-size records (key +
+payload) are appended to a heap area growing up from the header, and a
+directory of u16 heap-slot numbers kept in key order grows down from the
+end of the page. Inserting logs only the new record plus the shifted
+directory tail (a few dozen bytes), not a half-page memmove. Freed heap
+slots are chained through their first two bytes and reused. Internal
+pages keep a plain sorted array of (key, child) pairs — SMOs are rare
+enough that shift-logging them is fine.
+"""
+
+from __future__ import annotations
+
+PAGE_SIZE = 16384
+PAGE_HEADER_SIZE = 32
+
+OFF_PAGE_ID = 0
+OFF_LSN = 8
+OFF_PAGE_TYPE = 16
+OFF_LEVEL = 17
+OFF_NRECS = 18
+OFF_NEXT_LEAF = 20
+OFF_HEAP_COUNT = 28
+OFF_FIRST_FREE = 30
+
+NO_FREE_SLOT = 0xFFFF
+SLOT_BYTES = 2
+
+PT_FREE = 0
+PT_LEAF = 1
+PT_INTERNAL = 2
+PT_META = 3
+
+# The meta page anchors everything recoverable: the page allocator's
+# next page id, one root-page-id slot per B-tree, and the head of the
+# freed-page list (pages released by merge SMOs, chained through their
+# next_leaf header field; 0 = empty).
+META_PAGE_ID = 0
+META_OFF_NEXT_PAGE_ID = 32
+META_OFF_TREE_ROOTS = 40
+META_MAX_TREES = 64
+META_OFF_FREE_PAGE_HEAD = META_OFF_TREE_ROOTS + META_MAX_TREES * 8
+
+KEY_BYTES = 8
+CHILD_BYTES = 8
+INTERNAL_ENTRY_BYTES = KEY_BYTES + CHILD_BYTES
+
+# Capacity of an internal node.
+INTERNAL_FANOUT = (PAGE_SIZE - PAGE_HEADER_SIZE) // INTERNAL_ENTRY_BYTES
+
+
+def leaf_capacity(payload_size: int) -> int:
+    """How many (key, payload, slot) records fit in one leaf page."""
+    if payload_size <= 0:
+        raise ValueError("payload size must be positive")
+    capacity = (PAGE_SIZE - PAGE_HEADER_SIZE) // (
+        KEY_BYTES + payload_size + SLOT_BYTES
+    )
+    if capacity < 4:
+        raise ValueError(
+            f"payload of {payload_size} bytes leaves room for only "
+            f"{capacity} records per leaf; need at least 4"
+        )
+    return capacity

@@ -1,0 +1,85 @@
+"""Engine introspection: one call that answers "what state is this
+database in?" — buffer pool residency and hit ratios, WAL/checkpoint
+positions, per-table tree shapes, and interconnect counters.
+
+The moral equivalent of `SHOW ENGINE INNODB STATUS`, used by examples
+and handy when debugging an experiment configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .engine import Engine
+
+__all__ = ["engine_report"]
+
+
+def engine_report(engine: Engine, include_trees: bool = True) -> dict[str, Any]:
+    """A nested snapshot of the engine's observable state.
+
+    ``include_trees`` walks every B-tree with its verifier (O(dataset));
+    switch it off for quick buffer/WAL-only snapshots.
+    """
+    pool = engine.buffer_pool
+    report: dict[str, Any] = {
+        "name": engine.name,
+        "crashed": engine.crashed,
+        "buffer_pool": _pool_section(pool),
+        "wal": {
+            "durable_max_lsn": engine.redo_log.durable_max_lsn,
+            "checkpoint_lsn": engine.redo_log.checkpoint_lsn,
+            "buffered_records": engine.redo_log.buffered_records,
+            "flushes": engine.redo_log.flushes,
+            "bytes_flushed": engine.redo_log.bytes_flushed,
+        },
+        "storage": {
+            "pages": len(engine.page_store),
+            "reads": engine.page_store.reads,
+            "writes": engine.page_store.writes,
+        },
+        "counters": dict(engine.meter.counters),
+    }
+    if include_trees:
+        tables: dict[str, Any] = {}
+        for name, table in engine.tables.items():
+            mtr = engine.mtr()
+            stats = table.btree.verify(mtr)
+            index_stats = {
+                field: index.btree.verify(mtr)
+                for field, index in table.indexes.items()
+            }
+            mtr.commit()
+            entry: dict[str, Any] = dict(stats)
+            if index_stats:
+                entry["indexes"] = index_stats
+            tables[name] = entry
+        report["tables"] = tables
+    return report
+
+
+def _pool_section(pool) -> dict[str, Any]:
+    section: dict[str, Any] = {"kind": type(pool).__name__}
+    for attribute in (
+        "resident_count",
+        "dirty_count",
+        "capacity_pages",
+        "local_capacity_pages",
+        "n_blocks",
+        "hits",
+        "misses",
+        "evictions",
+        "remote_fetches",
+        "storage_fetches",
+        "invalidations_observed",
+        "removals_observed",
+        "metadata_entries_used",
+    ):
+        value = getattr(pool, attribute, None)
+        if value is not None:
+            section[attribute] = value
+    hits = section.get("hits")
+    misses = section.get("misses")
+    if hits is not None and misses is not None and hits + misses:
+        section["hit_ratio"] = hits / (hits + misses)
+    return section

@@ -1,0 +1,35 @@
+"""Simulated hardware: memory, CPU caches, CXL fabric, RDMA NICs, hosts."""
+
+from .cache import CpuCache, LineCacheModel
+from .cxl import CxlFabric, CxlMemoryDevice, CxlSwitch
+from .host import Cluster, Host, cxl_timing, dram_timing
+from .memory import (
+    AccessMeter,
+    MappedMemory,
+    MemoryRegion,
+    MemoryTiming,
+    PoisonedMemoryError,
+    TransferCharge,
+    WindowedMemory,
+)
+from .rdma import RdmaNic
+
+__all__ = [
+    "CpuCache",
+    "LineCacheModel",
+    "CxlFabric",
+    "CxlMemoryDevice",
+    "CxlSwitch",
+    "Cluster",
+    "Host",
+    "cxl_timing",
+    "dram_timing",
+    "AccessMeter",
+    "MappedMemory",
+    "MemoryRegion",
+    "MemoryTiming",
+    "PoisonedMemoryError",
+    "TransferCharge",
+    "WindowedMemory",
+    "RdmaNic",
+]

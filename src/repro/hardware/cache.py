@@ -1,0 +1,237 @@
+"""CPU cache models.
+
+Two distinct models, for two distinct jobs:
+
+* :class:`LineCacheModel` — a *timing-only* LRU cache of 64 B lines. It
+  never stores data; it just answers "would this access have hit the CPU
+  cache hierarchy?" so that :class:`~repro.hardware.memory.MappedMemory`
+  can charge hit vs. miss latency. This is what lets a CXL-resident
+  buffer pool perform within a few percent of DRAM (paper Fig. 3): hot
+  B-tree internals stay cached.
+
+* :class:`CpuCache` — a *functional* write-back cache used in the
+  multi-primary data-sharing scenario, where correctness depends on it.
+  CXL 2.0 provides no cross-host hardware coherency, so a store by node A
+  can sit dirty in A's cache, and node B can keep reading a stale clean
+  copy, until software intervenes. This class reproduces those hazards:
+  dirty lines really do hide updates from the backing region until
+  ``clflush``, and stale clean lines really do serve old data until
+  invalidated. The coherency protocol in :mod:`repro.core.coherency` is
+  correct iff the tests built on this model observe no stale reads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..sim.latency import CACHE_LINE
+from .memory import AccessMeter, LineCacheProtocol, MemoryRegion
+
+__all__ = ["LineCacheModel", "CpuCache"]
+
+
+class LineCacheModel(LineCacheProtocol):
+    """Timing-only LRU cache over (region, line) keys."""
+
+    def __init__(self, capacity_bytes: int = 32 << 20) -> None:
+        if capacity_bytes < CACHE_LINE:
+            raise ValueError("cache smaller than one line")
+        self.capacity_lines = capacity_bytes // CACHE_LINE
+        self._lines: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def touch(self, region_name: str, line: int) -> bool:
+        """Access a line; returns True on hit. Inserts on miss."""
+        key = (region_name, line)
+        lines = self._lines
+        if key in lines:
+            lines.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        lines[key] = None
+        if len(lines) > self.capacity_lines:
+            lines.popitem(last=False)
+        return False
+
+    def drop_region(self, region_name: str) -> None:
+        self._lines = OrderedDict(
+            (key, None) for key in self._lines if key[0] != region_name
+        )
+
+    def drop_lines(self, region_name: str, first_line: int, last_line: int) -> None:
+        for line in range(first_line, last_line + 1):
+            self._lines.pop((region_name, line), None)
+
+    def clear(self) -> None:
+        self._lines.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CpuCache:
+    """Functional write-back line cache over shared memory regions.
+
+    Reads pull whole lines from the backing region into the cache and are
+    served from cached copies thereafter — including *stale* copies if
+    another host changed the region. Writes dirty the cached lines and
+    are **not** visible in the backing region until the lines are flushed
+    (explicit ``clflush`` or capacity eviction).
+
+    Latency accounting (into ``meter``, when provided): line fills and
+    write-backs charge ``miss_ns`` per line; cached accesses charge
+    ``hit_ns``. Bytes written back are charged to ``pipe_key``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_lines: int = 1 << 16,
+        meter: Optional[AccessMeter] = None,
+        miss_ns: float = 0.0,
+        hit_ns: float = 0.0,
+        pipe_key: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.capacity_lines = capacity_lines
+        self.meter = meter
+        self.miss_ns = miss_ns
+        self.hit_ns = hit_ns
+        self.pipe_key = pipe_key
+        # (region, line) -> [bytes, dirty]
+        self._lines: OrderedDict[tuple[str, int], list] = OrderedDict()
+        self._regions: dict[str, MemoryRegion] = {}
+        self.fills = 0
+        self.write_backs = 0
+        self.stale_serves = 0  # diagnostic: cached reads (may be stale)
+
+    # -- data path --------------------------------------------------------------
+
+    def read(self, region: MemoryRegion, offset: int, nbytes: int) -> bytes:
+        """Read through the cache; cached lines win over backing memory."""
+        self._regions[region.name] = region
+        out = bytearray()
+        for line, line_off, span in _line_spans(offset, nbytes):
+            data = self._load_line(region, line)
+            out += data[line_off : line_off + span]
+        return bytes(out)
+
+    def write(self, region: MemoryRegion, offset: int, data: bytes) -> None:
+        """Write into the cache only; backing memory unchanged until flush."""
+        self._regions[region.name] = region
+        pos = 0
+        for line, line_off, span in _line_spans(offset, len(data)):
+            entry = self._load_entry(region, line)
+            buf = bytearray(entry[0])
+            buf[line_off : line_off + span] = data[pos : pos + span]
+            entry[0] = bytes(buf)
+            entry[1] = True
+            pos += span
+
+    def clflush(self, region: MemoryRegion, offset: int, nbytes: int) -> int:
+        """Flush-and-invalidate the lines covering [offset, offset+nbytes).
+
+        Dirty lines are written to the backing region; all covered lines
+        are dropped from the cache (as x86 ``clflush`` does). Returns the
+        number of dirty lines written back.
+        """
+        written = 0
+        for line, _, _ in _line_spans(offset, nbytes):
+            entry = self._lines.pop((region.name, line), None)
+            if entry is None:
+                continue
+            if entry[1]:
+                region.write(line * CACHE_LINE, entry[0])
+                written += 1
+        self.write_backs += written
+        if self.meter is not None and written:
+            self._charge_writeback(written)
+        return written
+
+    def invalidate(self, region: MemoryRegion, offset: int, nbytes: int) -> int:
+        """Drop lines without write-back (only safe when they are clean).
+
+        Returns the number of lines dropped so callers can charge the
+        per-line invalidation cost.
+        """
+        dropped = 0
+        for line, _, _ in _line_spans(offset, nbytes):
+            if self._lines.pop((region.name, line), None) is not None:
+                dropped += 1
+        return dropped
+
+    def drop_all(self) -> None:
+        """Crash semantics: every cached line, dirty or not, is gone."""
+        self._lines.clear()
+
+    def dirty_lines(self, region: MemoryRegion, offset: int, nbytes: int) -> int:
+        """How many lines in the range are dirty (diagnostics/tests)."""
+        count = 0
+        for line, _, _ in _line_spans(offset, nbytes):
+            entry = self._lines.get((region.name, line))
+            if entry is not None and entry[1]:
+                count += 1
+        return count
+
+    # -- internals ---------------------------------------------------------------
+
+    def _load_entry(self, region: MemoryRegion, line: int) -> list:
+        key = (region.name, line)
+        entry = self._lines.get(key)
+        if entry is None:
+            data = region.read(line * CACHE_LINE, CACHE_LINE)
+            entry = [data, False]
+            self._lines[key] = entry
+            self.fills += 1
+            if self.meter is not None:
+                self.meter.charge_ns(self.miss_ns)
+                if self.pipe_key is not None:
+                    self.meter.charge_transfer(self.pipe_key, CACHE_LINE)
+            self._evict_if_needed()
+        else:
+            self._lines.move_to_end(key)
+            self.stale_serves += 1
+            if self.meter is not None:
+                self.meter.charge_ns(self.hit_ns)
+        return entry
+
+    def _load_line(self, region: MemoryRegion, line: int) -> bytes:
+        return self._load_entry(region, line)[0]
+
+    def _evict_if_needed(self) -> None:
+        while len(self._lines) > self.capacity_lines:
+            (region_name, line), entry = self._lines.popitem(last=False)
+            if entry[1]:
+                # Background write-back of a dirty line on capacity eviction
+                # — this is the "flushed to CXL memory in the background"
+                # hazard from §3.3.
+                region = self._regions[region_name]
+                region.write(line * CACHE_LINE, entry[0])
+                self.write_backs += 1
+                if self.meter is not None:
+                    self._charge_writeback(1)
+
+    def _charge_writeback(self, lines: int) -> None:
+        assert self.meter is not None
+        self.meter.charge_ns(lines * self.miss_ns)
+        if self.pipe_key is not None:
+            self.meter.charge_transfer(self.pipe_key, lines * CACHE_LINE)
+
+
+def _line_spans(offset: int, nbytes: int):
+    """Yield (line_index, offset_within_line, span) covering a range."""
+    if nbytes <= 0:
+        return
+    pos = offset
+    end = offset + nbytes
+    while pos < end:
+        line = pos // CACHE_LINE
+        line_off = pos - line * CACHE_LINE
+        span = min(CACHE_LINE - line_off, end - pos)
+        yield line, line_off, span
+        pos += span

@@ -1,0 +1,281 @@
+"""Byte-addressable memory regions and access metering.
+
+A :class:`MemoryRegion` is the *functional* substance of the simulation:
+a bytearray with explicit volatility semantics. Host DRAM regions lose
+their contents on a crash (``power_fail`` poisons them); CXL-box regions
+survive, because the switch and memory devices have independent power
+supply units (paper §3.2).
+
+A :class:`MappedMemory` is a host's window onto a region through a
+particular interconnect. Every read/write is metered: latency is charged
+to an :class:`AccessMeter` (using a per-line timing cache to model the
+CPU cache absorbing repeat accesses) and bytes are recorded as pending
+transfers against named bandwidth pipes, which the workload driver
+settles inside the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.latency import CACHE_LINE
+
+__all__ = [
+    "MemoryRegion",
+    "AccessMeter",
+    "TransferCharge",
+    "MappedMemory",
+    "PoisonedMemoryError",
+]
+
+_POISON = 0xDE
+
+
+class PoisonedMemoryError(RuntimeError):
+    """Raised when reading a volatile region after a power failure."""
+
+
+class MemoryRegion:
+    """A contiguous span of simulated physical memory."""
+
+    def __init__(self, name: str, size: int, volatile: bool) -> None:
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        self.name = name
+        self.size = size
+        self.volatile = volatile
+        self._data = bytearray(size)
+        self._poisoned = False
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        if self._poisoned:
+            raise PoisonedMemoryError(
+                f"region {self.name!r} lost its contents in a power failure"
+            )
+        self._check(offset, nbytes)
+        return bytes(self._data[offset : offset + nbytes])
+
+    def write(self, offset: int, data: bytes) -> None:
+        if self._poisoned:
+            raise PoisonedMemoryError(
+                f"region {self.name!r} lost its contents in a power failure"
+            )
+        self._check(offset, len(data))
+        self._data[offset : offset + len(data)] = data
+
+    def power_fail(self) -> None:
+        """Simulate power loss. Volatile regions are poisoned until reset."""
+        if self.volatile:
+            self._poisoned = True
+
+    def power_restore(self) -> None:
+        """Bring a failed region back: fresh, zeroed, contents gone."""
+        if self._poisoned:
+            self._data = bytearray(self.size)
+            self._poisoned = False
+
+    @property
+    def poisoned(self) -> bool:
+        return self._poisoned
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise IndexError(
+                f"access [{offset}, {offset + nbytes}) outside region "
+                f"{self.name!r} of size {self.size}"
+            )
+
+
+@dataclass(frozen=True)
+class TransferCharge:
+    """A pending bandwidth charge to settle against a named pipe."""
+
+    pipe_key: str
+    nbytes: int
+    base_ns: float = 0.0
+
+
+class AccessMeter:
+    """Accumulates the cost of functional work for one engine instance.
+
+    ``ns`` is CPU-visible latency (memory stalls, compute). ``transfers``
+    are bytes that must additionally flow through shared pipes (RDMA NIC,
+    CXL link, storage, WAL device, client network); the driver turns them
+    into simulated pipe occupancy, which is where saturation comes from.
+    ``counters`` holds free-form byte/op counts for reporting (e.g. read
+    amplification).
+    """
+
+    def __init__(self) -> None:
+        self.ns: float = 0.0
+        self.transfers: list[TransferCharge] = []
+        self.counters: dict[str, float] = {}
+
+    def charge_ns(self, ns: float) -> None:
+        self.ns += ns
+
+    def charge_transfer(
+        self, pipe_key: str, nbytes: int, base_ns: float = 0.0
+    ) -> None:
+        self.transfers.append(TransferCharge(pipe_key, nbytes, base_ns))
+        self.count(pipe_key + "_bytes", nbytes)
+        self.count(pipe_key + "_ops", 1)
+
+    def count(self, key: str, amount: float = 1.0) -> None:
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    def take(self) -> tuple[float, list[TransferCharge]]:
+        """Return and clear the per-operation charges (counters persist)."""
+        ns, self.ns = self.ns, 0.0
+        transfers, self.transfers = self.transfers, []
+        return ns, transfers
+
+    def reset(self) -> None:
+        self.ns = 0.0
+        self.transfers = []
+        self.counters = {}
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Latency parameters for one interconnect path to a region."""
+
+    miss_ns: float  # one cache line fetched from the device
+    hit_ns: float  # line already in the CPU cache hierarchy
+    read_burst_base_ns: float  # fixed cost of a bulk (streamed) read
+    read_burst_ns_per_byte: float
+    write_burst_base_ns: float  # fixed cost of a bulk (streamed) write
+    write_burst_ns_per_byte: float
+    pipe_key: Optional[str] = None  # bandwidth pipe charged per byte moved
+    pipe_base_ns: float = 0.0
+
+    # Bulk accesses at or above this size use the burst model and bypass
+    # the line cache (non-temporal/streaming semantics).
+    burst_threshold: int = 256
+
+
+class MappedMemory:
+    """A metered, cache-modelled window onto a :class:`MemoryRegion`."""
+
+    def __init__(
+        self,
+        region: MemoryRegion,
+        timing: MemoryTiming,
+        meter: AccessMeter,
+        line_cache: "LineCacheProtocol",
+        counter_key: str,
+    ) -> None:
+        self.region = region
+        self.timing = timing
+        self.meter = meter
+        self.line_cache = line_cache
+        self.counter_key = counter_key
+
+    # -- metered access --------------------------------------------------------
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        self._charge(offset, nbytes, write=False)
+        return self.region.read(offset, nbytes)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._charge(offset, len(data), write=True)
+        self.region.write(offset, data)
+
+    def read_unmetered(self, offset: int, nbytes: int) -> bytes:
+        """Functional read with no timing charge (recovery bookkeeping)."""
+        return self.region.read(offset, nbytes)
+
+    def write_unmetered(self, offset: int, data: bytes) -> None:
+        self.region.write(offset, data)
+
+    # -- cost model -------------------------------------------------------------
+
+    def _charge(self, offset: int, nbytes: int, write: bool) -> None:
+        timing = self.timing
+        meter = self.meter
+        if nbytes >= timing.burst_threshold:
+            if write:
+                meter.charge_ns(
+                    timing.write_burst_base_ns
+                    + nbytes * timing.write_burst_ns_per_byte
+                )
+            else:
+                meter.charge_ns(
+                    timing.read_burst_base_ns
+                    + nbytes * timing.read_burst_ns_per_byte
+                )
+            device_bytes = nbytes  # streamed: every byte crosses the link
+        else:
+            first_line = offset // CACHE_LINE
+            last_line = (offset + max(nbytes, 1) - 1) // CACHE_LINE
+            hits = 0
+            misses = 0
+            for line in range(first_line, last_line + 1):
+                if self.line_cache.touch(self.region.name, line):
+                    hits += 1
+                else:
+                    misses += 1
+            meter.charge_ns(misses * timing.miss_ns + hits * timing.hit_ns)
+            # Only cache misses generate device/link traffic, at line
+            # granularity — a hot B-tree root costs the CXL link nothing.
+            device_bytes = misses * CACHE_LINE
+        meter.count(self.counter_key + "_touched_bytes", nbytes)
+        if timing.pipe_key is not None and device_bytes:
+            meter.charge_transfer(timing.pipe_key, device_bytes, timing.pipe_base_ns)
+
+
+class WindowedMemory:
+    """A sub-range of a mapped memory, addressed from zero.
+
+    Used for CXL extents: the memory manager hands a tenant an offset
+    into the shared pool, and the tenant addresses its extent relative
+    to that offset (what ``mmap`` of the dax device at an offset gives).
+    """
+
+    __slots__ = ("mapped", "base", "size")
+
+    def __init__(self, mapped: MappedMemory, base: int, size: int) -> None:
+        if base < 0 or base + size > mapped.region.size:
+            raise IndexError("window outside the mapped region")
+        self.mapped = mapped
+        self.base = base
+        self.size = size
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.size:
+            raise IndexError(
+                f"access [{offset}, {offset + nbytes}) outside window of "
+                f"size {self.size}"
+            )
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        self._check(offset, nbytes)
+        return self.mapped.read(self.base + offset, nbytes)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self.mapped.write(self.base + offset, data)
+
+    def read_unmetered(self, offset: int, nbytes: int) -> bytes:
+        self._check(offset, nbytes)
+        return self.mapped.read_unmetered(self.base + offset, nbytes)
+
+    def write_unmetered(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self.mapped.write_unmetered(self.base + offset, data)
+
+
+class LineCacheProtocol:
+    """Interface for the timing-only CPU cache model."""
+
+    def touch(self, region_name: str, line: int) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def drop_region(self, region_name: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def drop_lines(
+        self, region_name: str, first_line: int, last_line: int
+    ) -> None:  # pragma: no cover
+        raise NotImplementedError

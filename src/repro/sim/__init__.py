@@ -1,0 +1,35 @@
+"""Simulation substrate: event loop, resources, latency calibration, stats."""
+
+from .core import Event, Process, SimError, Simulator, Timeout, run_inline
+from .latency import CACHE_LINE, CostModel, LatencyConfig
+from .resources import Mutex, Pipe, RWLock
+from .rng import WorkloadRng, ZipfGenerator
+from .stats import (
+    LatencyRecorder,
+    RunningStats,
+    ThroughputMeter,
+    TimeSeries,
+    percentile,
+)
+
+__all__ = [
+    "Event",
+    "Process",
+    "SimError",
+    "Simulator",
+    "Timeout",
+    "run_inline",
+    "CACHE_LINE",
+    "CostModel",
+    "LatencyConfig",
+    "Mutex",
+    "Pipe",
+    "RWLock",
+    "WorkloadRng",
+    "ZipfGenerator",
+    "LatencyRecorder",
+    "RunningStats",
+    "ThroughputMeter",
+    "TimeSeries",
+    "percentile",
+]

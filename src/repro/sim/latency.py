@@ -1,0 +1,125 @@
+"""Latency calibration for the simulated hardware.
+
+All constants derive from the paper's own microbenchmarks:
+
+* Table 1 — idle load latency (ns) of DRAM and CXL memory, with and
+  without the XConn CXL 2.0 switch, from the local and the remote NUMA
+  node (Intel MLC).
+* Table 2 — end-to-end data transfer latency (µs) of RDMA vs CXL for
+  64 B – 16 KB payloads.
+
+The transfer model is ``latency = base + nbytes / effective_bandwidth``:
+RDMA has a large fixed cost (RTT, protocol handling, NIC DMA) and a
+shallow size slope; CXL has a small fixed cost (one line fill through the
+switch) and a steeper slope (limited CPU load/store buffer depth). The
+slopes below are least-squares fits of Table 2's 64 B and 16 KB
+endpoints, so regenerating Table 2 from this model reproduces the paper's
+numbers to within interpolation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyConfig", "CostModel", "CACHE_LINE"]
+
+CACHE_LINE = 64
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Device latencies and bandwidths, paper-calibrated defaults."""
+
+    # Table 1 (ns per dependent load).
+    dram_local_ns: float = 146.0
+    dram_remote_ns: float = 231.0
+    cxl_direct_local_ns: float = 265.2
+    cxl_direct_remote_ns: float = 345.9
+    cxl_switch_local_ns: float = 549.0
+    cxl_switch_remote_ns: float = 651.0
+
+    # Table 2 fixed costs (ns). RDMA ops pay this regardless of size.
+    rdma_write_base_ns: float = 4470.0
+    rdma_read_base_ns: float = 4540.0
+    cxl_write_base_ns: float = 775.0
+    cxl_read_base_ns: float = 745.0
+
+    # Table 2 size slopes (ns per byte), fit to the 64 B..16 KB span.
+    rdma_write_ns_per_byte: float = (6120.0 - 4480.0) / (16384 - 64)
+    rdma_read_ns_per_byte: float = (7130.0 - 4550.0) / (16384 - 64)
+    cxl_write_ns_per_byte: float = (1680.0 - 780.0) / (16384 - 64)
+    cxl_read_ns_per_byte: float = (2460.0 - 750.0) / (16384 - 64)
+
+    # Shared-pipe capacities (bytes/second).
+    rdma_nic_bandwidth: float = 12.0e9  # ConnectX-6, §2.2
+    cxl_host_link_bandwidth: float = 64.0e9  # x16 PCIe Gen5 per host
+    cxl_switch_bandwidth: float = 2.0e12  # XConn XC50256 switching capacity
+    dram_bandwidth: float = 200.0e9  # per-socket DDR5 aggregate
+    storage_bandwidth: float = 2.0e9  # cloud storage (PolarStore-like)
+    client_network_bandwidth: float = 12.0e9  # per-host client egress (§2.3 Fig 3)
+    wal_device_bandwidth: float = 150.0e6  # per-host log device (§2.3 Fig 3)
+
+    # Storage I/O latency (cloud storage over the network).
+    storage_read_base_ns: float = 150_000.0
+    storage_write_base_ns: float = 80_000.0
+    wal_write_base_ns: float = 25_000.0  # group-commit log append
+
+    # RPC latencies.
+    rpc_base_ns: float = 15_000.0  # control-plane RPC (allocation etc.)
+    lock_rpc_ns: float = 4_000.0  # distributed page-lock service round trip
+    # A thread that blocks on a contended page lock sleeps and must be
+    # rescheduled — the context-switch overhead §4.4 blames for the
+    # throughput collapse at high shared-data percentages.
+    lock_wakeup_ns: float = 30_000.0
+    rdma_message_ns: float = 5_000.0  # one RDMA send/recv message (invalidation)
+    cxl_flag_store_ns: float = 400.0  # single CXL store, "a few hundred ns" (§3.3)
+
+    # DRAM streaming cost once a line is resident-ish (per byte copied).
+    dram_copy_ns_per_byte: float = 0.012
+
+    # RDMA NIC IOPS scaling ceiling: ops/second before doorbell contention
+    # and cache thrashing flatten throughput (§2.2 item 3, Smart/Ren 2024).
+    rdma_nic_max_iops: float = 3.0e6
+
+    def rdma_write_ns(self, nbytes: int) -> float:
+        """Unloaded latency of an RDMA write of ``nbytes`` (Table 2)."""
+        return self.rdma_write_base_ns + nbytes * self.rdma_write_ns_per_byte
+
+    def rdma_read_ns(self, nbytes: int) -> float:
+        """Unloaded latency of an RDMA read of ``nbytes`` (Table 2)."""
+        return self.rdma_read_base_ns + nbytes * self.rdma_read_ns_per_byte
+
+    def cxl_write_ns(self, nbytes: int) -> float:
+        """Unloaded latency of a CXL store burst of ``nbytes`` (Table 2)."""
+        return self.cxl_write_base_ns + nbytes * self.cxl_write_ns_per_byte
+
+    def cxl_read_ns(self, nbytes: int) -> float:
+        """Unloaded latency of a CXL load burst of ``nbytes`` (Table 2)."""
+        return self.cxl_read_base_ns + nbytes * self.cxl_read_ns_per_byte
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """CPU-side cost constants for the functional database engine.
+
+    These set the absolute throughput scale (which belongs to the authors'
+    testbed, not ours); the *relative* behaviour across systems comes from
+    the hardware model. Calibrated so that a 16-vCPU instance with the
+    default worker count delivers on the order of 300 K point-select QPS
+    on a DRAM buffer pool, matching Figure 3's left panel.
+    """
+
+    # Per-statement fixed cost: client RTT, protocol handling, parsing,
+    # planning. Dominates OLTP point-query service time (sysbench
+    # latencies are hundreds of microseconds at 48 threads), which is
+    # why a few microseconds of extra CXL memory stalls cost only ~7%
+    # of throughput (Fig. 3).
+    query_fixed_ns: float = 140_000.0
+    btree_level_ns: float = 900.0  # binary search and latch per level
+    record_copy_ns_per_byte: float = 0.25  # materializing a row
+    range_row_ns: float = 2_000.0  # per-row filter/aggregate in range scans
+    write_apply_ns: float = 1_500.0  # applying one record modification
+    log_record_ns: float = 400.0  # building one redo record
+    txn_fixed_ns: float = 4_000.0  # begin/commit bookkeeping
+
+    latency: LatencyConfig = field(default_factory=LatencyConfig)

@@ -1,0 +1,197 @@
+"""Shared resources for the simulation kernel.
+
+Three primitives cover everything the reproduction needs:
+
+* :class:`Pipe` — a serial bandwidth resource (an interconnect or NIC).
+  Transfers are FIFO-serialized; when offered load exceeds capacity the
+  pipe builds a backlog and per-transfer completion times stretch, which
+  is exactly the saturation behaviour the paper's pooling experiments
+  revolve around.
+* :class:`Mutex` — a FIFO mutual-exclusion lock.
+* :class:`RWLock` — a FIFO readers/writers lock used for distributed page
+  locks in the data-sharing experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from .core import Event, SimError, Simulator
+
+__all__ = ["Pipe", "Mutex", "RWLock"]
+
+
+class Pipe:
+    """A FIFO bandwidth pipe with optional per-operation base latency.
+
+    ``transfer(nbytes)`` returns an event that fires when the transfer
+    completes. The pipe serializes transfers: a transfer begins at
+    ``max(now, tail)`` where ``tail`` is when the previous transfer ends.
+    Completion time additionally includes ``base_ns`` of fixed latency
+    that does *not* occupy the pipe (protocol overhead, RTT).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bytes_per_second: float,
+        name: str = "pipe",
+    ) -> None:
+        if bytes_per_second <= 0:
+            raise SimError("pipe bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.bytes_per_second = float(bytes_per_second)
+        self._tail: int = 0
+        self.total_bytes: int = 0
+        self.total_transfers: int = 0
+        self._window_start: int = 0
+        self._window_bytes: int = 0
+
+    def occupancy_ns(self, nbytes: int) -> int:
+        """How long ``nbytes`` occupies the pipe."""
+        return int(nbytes * 1e9 / self.bytes_per_second)
+
+    def transfer(self, nbytes: int, base_ns: int = 0) -> Event:
+        """Move ``nbytes`` through the pipe; returns the completion event."""
+        if nbytes < 0:
+            raise SimError("negative transfer size")
+        now = self.sim.now
+        start = max(now, self._tail)
+        occupancy = self.occupancy_ns(nbytes)
+        self._tail = start + occupancy
+        self.total_bytes += nbytes
+        self.total_transfers += 1
+        self._window_bytes += nbytes
+        done = Event(self.sim)
+        done.succeed(delay=(self._tail - now) + int(base_ns))
+        return done
+
+    @property
+    def backlog_ns(self) -> int:
+        """Nanoseconds of queued work currently ahead of a new transfer."""
+        return max(0, self._tail - self.sim.now)
+
+    def reset_window(self) -> None:
+        """Start a fresh measurement window for :meth:`window_bandwidth`."""
+        self._window_start = self.sim.now
+        self._window_bytes = 0
+
+    def window_bandwidth(self) -> float:
+        """Observed bytes/second since the last :meth:`reset_window`."""
+        elapsed = self.sim.now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return self._window_bytes * 1e9 / elapsed
+
+
+class Mutex:
+    """A FIFO mutual-exclusion lock usable from simulation processes."""
+
+    def __init__(self, sim: Simulator, name: str = "mutex") -> None:
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+        self.contended_acquires = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        event = Event(self.sim)
+        if not self._locked:
+            self._locked = True
+            event.succeed()
+        else:
+            self.contended_acquires += 1
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimError(f"mutex {self.name!r} released while unlocked")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._locked = False
+
+
+class RWLock:
+    """A FIFO readers/writers lock.
+
+    Fairness policy: strict FIFO over arrival order — a waiting writer
+    blocks readers that arrive after it, which is the behaviour of the
+    distributed page locks in PolarDB-MP (no reader starvation of
+    writers).
+    """
+
+    _READ = "r"
+    _WRITE = "w"
+
+    def __init__(self, sim: Simulator, name: str = "rwlock") -> None:
+        self.sim = sim
+        self.name = name
+        self._readers = 0
+        self._writer = False
+        self._waiters: Deque[tuple[str, Event]] = deque()
+        self.contended_acquires = 0
+
+    @property
+    def held(self) -> bool:
+        return self._writer or self._readers > 0
+
+    def read_would_block(self) -> bool:
+        return self._writer or bool(self._waiters)
+
+    def write_would_block(self) -> bool:
+        return self._writer or self._readers > 0 or bool(self._waiters)
+
+    def acquire_read(self) -> Event:
+        event = Event(self.sim)
+        if not self._writer and not self._waiters:
+            self._readers += 1
+            event.succeed()
+        else:
+            self.contended_acquires += 1
+            self._waiters.append((self._READ, event))
+        return event
+
+    def acquire_write(self) -> Event:
+        event = Event(self.sim)
+        if not self._writer and self._readers == 0:
+            self._writer = True
+            event.succeed()
+        else:
+            self.contended_acquires += 1
+            self._waiters.append((self._WRITE, event))
+        return event
+
+    def release_read(self) -> None:
+        if self._readers <= 0:
+            raise SimError(f"rwlock {self.name!r}: release_read with no readers")
+        self._readers -= 1
+        self._drain()
+
+    def release_write(self) -> None:
+        if not self._writer:
+            raise SimError(f"rwlock {self.name!r}: release_write not held")
+        self._writer = False
+        self._drain()
+
+    def _drain(self) -> None:
+        if self._writer:
+            return
+        while self._waiters:
+            kind, event = self._waiters[0]
+            if kind == self._WRITE:
+                if self._readers == 0:
+                    self._waiters.popleft()
+                    self._writer = True
+                    event.succeed()
+                return
+            self._waiters.popleft()
+            self._readers += 1
+            event.succeed()

@@ -1,0 +1,81 @@
+"""Bridging functional cost charges into simulated time.
+
+Functional code (the engine, buffer pools, protocols) charges an
+:class:`~repro.hardware.memory.AccessMeter` with latency-nanoseconds and
+pending pipe transfers. A :class:`ChargeSettler` drains those charges
+into the discrete-event simulation: latency becomes a timeout, transfers
+become pipe occupancy (where saturation and queueing arise).
+
+Settling *inside* a critical section — after doing the work, before
+releasing a lock — is what makes lock-hold times include the work done
+under the lock; the multi-primary protocol relies on this.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .core import Simulator
+from .resources import Pipe
+
+__all__ = ["ChargeSettler"]
+
+
+class ChargeSettler:
+    """Drains one meter's charges into simulated time and pipe traffic."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        meter,
+        pipes: dict[str, list[Pipe]],
+    ) -> None:
+        self.sim = sim
+        self.meter = meter
+        self.pipes = pipes
+        self.unroutable_keys: set[str] = set()
+
+    def settle(self, extra_ns: float = 0.0) -> Generator:
+        """Process step: elapse the meter's accumulated cost.
+
+        Per-operation base latencies (an RDMA read's ~5 µs, a storage
+        read's ~150 µs) block the issuing thread, so they serialize into
+        one timeout. The byte movement is then pushed through the pipes
+        — FIFO bandwidth resources — whose completion reflects any
+        queueing behind other threads' traffic (saturation).
+        """
+        ns, transfers = self.meter.take()
+        total_ns = ns + extra_ns + sum(charge.base_ns for charge in transfers)
+        if total_ns > 0:
+            yield self.sim.timeout(int(total_ns))
+        if transfers:
+            events = []
+            for charge in transfers:
+                routed = self.pipes.get(charge.pipe_key)
+                if not routed:
+                    self.unroutable_keys.add(charge.pipe_key)
+                    continue
+                for pipe in routed:
+                    events.append(pipe.transfer(charge.nbytes))
+            if events:
+                yield self.sim.all_of(events)
+
+    def settle_serial(self) -> Generator:
+        """Like :meth:`settle`, but transfers run one after another.
+
+        Sequential work — a recovery replay reading pages one by one —
+        must not overlap its I/O; each transfer is issued only after the
+        previous one completed.
+        """
+        ns, transfers = self.meter.take()
+        if ns > 0:
+            yield self.sim.timeout(int(ns))
+        for charge in transfers:
+            routed = self.pipes.get(charge.pipe_key)
+            if not routed:
+                self.unroutable_keys.add(charge.pipe_key)
+                continue
+            events = [
+                pipe.transfer(charge.nbytes, int(charge.base_ns)) for pipe in routed
+            ]
+            yield self.sim.all_of(events)

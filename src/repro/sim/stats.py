@@ -1,0 +1,158 @@
+"""Measurement utilities: running statistics, percentiles, time series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "RunningStats",
+    "LatencyRecorder",
+    "TimeSeries",
+    "ThroughputMeter",
+    "percentile",
+]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of sorted data."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_values[low]
+    frac = rank - low
+    value = sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+    # Interpolation can drift past the endpoints by a ULP; clamp.
+    return min(max(value, sorted_values[0]), sorted_values[-1])
+
+
+class RunningStats:
+    """Welford-style running mean/variance with min/max tracking."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class LatencyRecorder:
+    """Collects latency samples and answers mean / percentile queries."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def add(self, value_ns: float) -> None:
+        self._samples.append(value_ns)
+        self._sorted = False
+
+    def _ensure_sorted(self) -> list[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def percentile_ns(self, q: float) -> float:
+        return percentile(self._ensure_sorted(), q)
+
+    @property
+    def p95_ns(self) -> float:
+        return self.percentile_ns(95.0)
+
+    @property
+    def p99_ns(self) -> float:
+        return self.percentile_ns(99.0)
+
+
+@dataclass
+class TimeSeries:
+    """Event counts bucketed by fixed-width windows of simulated time.
+
+    Used for the recovery timelines (Figure 10): throughput-over-time is
+    ``counts-per-bucket / bucket_seconds``.
+    """
+
+    bucket_ns: int
+    _buckets: dict[int, int] = field(default_factory=dict)
+
+    def record(self, at_ns: int, count: int = 1) -> None:
+        self._buckets[at_ns // self.bucket_ns] = (
+            self._buckets.get(at_ns // self.bucket_ns, 0) + count
+        )
+
+    def series(self, until_ns: Optional[int] = None) -> list[tuple[float, float]]:
+        """(time_seconds, rate_per_second) per bucket, gaps filled with 0."""
+        if not self._buckets:
+            return []
+        last = max(self._buckets)
+        if until_ns is not None:
+            last = max(last, until_ns // self.bucket_ns)
+        bucket_s = self.bucket_ns / 1e9
+        return [
+            (i * bucket_s, self._buckets.get(i, 0) / bucket_s)
+            for i in range(last + 1)
+        ]
+
+
+class ThroughputMeter:
+    """Counts completions within an explicit measurement window."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self._window_start_ns = 0
+        self._window_completed = 0
+
+    def record(self, count: int = 1) -> None:
+        self.completed += count
+        self._window_completed += count
+
+    def reset_window(self, now_ns: int) -> None:
+        self._window_start_ns = now_ns
+        self._window_completed = 0
+
+    def window_rate(self, now_ns: int) -> float:
+        """Completions per second since the window started."""
+        elapsed = now_ns - self._window_start_ns
+        if elapsed <= 0:
+            return 0.0
+        return self._window_completed * 1e9 / elapsed

@@ -1,0 +1,13 @@
+"""Durable storage substrate: page store, redo WAL, checkpoints."""
+
+from .checkpoint import Checkpointer, SupportsFlushDirty
+from .pagestore import PageStore
+from .wal import RedoLog, RedoRecord
+
+__all__ = [
+    "Checkpointer",
+    "SupportsFlushDirty",
+    "PageStore",
+    "RedoLog",
+    "RedoRecord",
+]

@@ -1,0 +1,77 @@
+"""Durable page storage.
+
+The cloud storage layer under a PolarDB-style database: pages are read
+and written at page granularity over the storage network. Contents are
+durable — they survive any host crash. Latency and bandwidth charges go
+through the engine's :class:`~repro.hardware.memory.AccessMeter` against
+the host's ``storage`` pipe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..hardware.memory import AccessMeter
+from ..sim.latency import LatencyConfig
+
+__all__ = ["PageStore"]
+
+
+class PageStore:
+    """A durable page_id → page-image map with metered I/O."""
+
+    def __init__(
+        self,
+        page_size: int,
+        meter: Optional[AccessMeter] = None,
+        config: Optional[LatencyConfig] = None,
+    ) -> None:
+        self.page_size = page_size
+        self.meter = meter
+        self.config = config or LatencyConfig()
+        self._pages: dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def attach_meter(self, meter: AccessMeter) -> None:
+        """Re-bind the meter (a restarted engine brings a fresh one)."""
+        self.meter = meter
+
+    def exists(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read a page image; charges one storage read."""
+        try:
+            image = self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} not in storage") from None
+        self.reads += 1
+        if self.meter is not None:
+            self.meter.charge_transfer(
+                "storage", self.page_size, base_ns=self.config.storage_read_base_ns
+            )
+        return image
+
+    def write_page(self, page_id: int, image: bytes) -> None:
+        """Durably write a page image; charges one storage write."""
+        if len(image) != self.page_size:
+            raise ValueError(
+                f"page image is {len(image)} bytes, expected {self.page_size}"
+            )
+        self._pages[page_id] = bytes(image)
+        self.writes += 1
+        if self.meter is not None:
+            self.meter.charge_transfer(
+                "storage", self.page_size, base_ns=self.config.storage_write_base_ns
+            )
+
+    def read_page_unmetered(self, page_id: int) -> bytes:
+        """Functional read without charges (test/inspection helper)."""
+        return self._pages[page_id]
+
+    def page_ids(self) -> Iterator[int]:
+        return iter(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,25 @@
+"""Workloads: sysbench, TPC-C, TATP, and the simulation drivers."""
+
+from .base import Op, TxnStats, Workload, load_tables
+from .driver import InstanceCtx, PoolingDriver, RunResult, SharingDriver
+from .sysbench import SYSBENCH_CODEC, SYSBENCH_MIXES, SysbenchWorkload
+from .tatp import TATP_MIX, TatpWorkload
+from .tpcc import TPCC_MIX, TpccWorkload
+
+__all__ = [
+    "Op",
+    "TxnStats",
+    "Workload",
+    "load_tables",
+    "InstanceCtx",
+    "PoolingDriver",
+    "RunResult",
+    "SharingDriver",
+    "SYSBENCH_CODEC",
+    "SYSBENCH_MIXES",
+    "SysbenchWorkload",
+    "TATP_MIX",
+    "TatpWorkload",
+    "TPCC_MIX",
+    "TpccWorkload",
+]

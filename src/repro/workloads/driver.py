@@ -1,0 +1,313 @@
+"""Drivers: run workloads inside the discrete-event simulation.
+
+Two drivers cover the paper's experiment classes:
+
+* :class:`PoolingDriver` — N database instances on one (or more) hosts,
+  each with worker "threads" executing functional transactions and
+  settling their metered cost into simulated time and pipe traffic.
+  Produces the throughput / latency / bandwidth numbers of Figures
+  1, 3, 7, 8 and 9.
+* :class:`SharingDriver` — N multi-primary nodes executing
+  :class:`~repro.workloads.base.Op` lists through the distributed-lock
+  + coherency protocol generators. Produces Figures 11–13 and Table 3.
+
+Both run a warmup phase, then a barrier resets the measurement windows
+of every pipe, then a fixed number of measured transactions per worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core.sharing import MultiPrimaryNode
+from ..db.engine import Engine
+from ..hardware.host import Host
+from ..hardware.memory import AccessMeter
+from ..sim.core import Event, Simulator
+from ..sim.latency import CostModel
+from ..sim.resources import Pipe
+from ..sim.rng import WorkloadRng
+from ..sim.settle import ChargeSettler
+from ..sim.stats import LatencyRecorder, TimeSeries
+from .base import Op, TxnStats
+
+__all__ = ["InstanceCtx", "RunResult", "PoolingDriver", "SharingDriver"]
+
+
+@dataclass
+class InstanceCtx:
+    """One database instance wired to its host for the pooling driver."""
+
+    engine: Engine
+    host: Host
+    rng: WorkloadRng
+    settler: ChargeSettler = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.settler = ChargeSettler(
+            self.host.sim, self.engine.meter, self.host.pipes
+        )
+
+
+@dataclass
+class RunResult:
+    """Measured outcome of one driver run."""
+
+    txns: int
+    queries: int
+    elapsed_ns: int
+    avg_latency_ns: float
+    p95_latency_ns: float
+    pipe_bandwidth: dict[str, float]
+    counters: dict[str, float]
+    lock_waits: int = 0
+
+    @property
+    def tps(self) -> float:
+        return self.txns * 1e9 / self.elapsed_ns if self.elapsed_ns else 0.0
+
+    @property
+    def qps(self) -> float:
+        return self.queries * 1e9 / self.elapsed_ns if self.elapsed_ns else 0.0
+
+    def to_dict(self) -> dict:
+        """Flat dict for programmatic consumption (CSV/JSON exports)."""
+        out = {
+            "txns": self.txns,
+            "queries": self.queries,
+            "elapsed_ns": self.elapsed_ns,
+            "tps": self.tps,
+            "qps": self.qps,
+            "avg_latency_ns": self.avg_latency_ns,
+            "p95_latency_ns": self.p95_latency_ns,
+            "lock_waits": self.lock_waits,
+        }
+        for key, value in self.pipe_bandwidth.items():
+            out[f"bw_{key}_gbps"] = value / 1e9
+        return out
+
+
+class _Barrier:
+    """All workers arrive, pipes reset, measurement begins."""
+
+    def __init__(self, sim: Simulator, parties: int, pipes: Sequence[Pipe]) -> None:
+        self.sim = sim
+        self.parties = parties
+        self.pipes = pipes
+        self._arrived = 0
+        self._event = sim.event()
+        self.start_ns: Optional[int] = None
+
+    def arrive(self) -> Event:
+        self._arrived += 1
+        if self._arrived == self.parties:
+            for pipe in self.pipes:
+                pipe.reset_window()
+            self.start_ns = self.sim.now
+            self._event.succeed()
+        return self._event
+
+
+def _collect_pipes(hosts: Sequence[Host]) -> dict[str, list[Pipe]]:
+    """Unique pipes by key across hosts (for bandwidth reporting)."""
+    out: dict[str, list[Pipe]] = {}
+    seen: set[int] = set()
+    for host in hosts:
+        for key, pipes in host.pipes.items():
+            for pipe in pipes:
+                if id(pipe) not in seen:
+                    seen.add(id(pipe))
+                    out.setdefault(key, []).append(pipe)
+    return out
+
+
+def _bandwidths(pipes_by_key: dict[str, list[Pipe]]) -> dict[str, float]:
+    return {
+        key: sum(pipe.window_bandwidth() for pipe in pipes)
+        for key, pipes in pipes_by_key.items()
+    }
+
+
+class PoolingDriver:
+    """Single-primary instances under a functional-transaction workload."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        instances: Sequence[InstanceCtx],
+        txn_fn: Callable[[Engine, WorkloadRng], TxnStats],
+        workers_per_instance: int = 48,
+        warmup_txns: int = 4,
+        measure_txns: int = 16,
+        timeline: Optional[TimeSeries] = None,
+    ) -> None:
+        self.sim = sim
+        self.instances = list(instances)
+        self.txn_fn = txn_fn
+        self.workers_per_instance = workers_per_instance
+        self.warmup_txns = warmup_txns
+        self.measure_txns = measure_txns
+        self.timeline = timeline
+        self.latency = LatencyRecorder()
+        self._queries = 0
+        self._txns = 0
+        self._end_ns = 0
+
+    def run(self) -> RunResult:
+        pipes_by_key = _collect_pipes([ictx.host for ictx in self.instances])
+        all_pipes = [pipe for pipes in pipes_by_key.values() for pipe in pipes]
+        barrier = _Barrier(
+            self.sim,
+            len(self.instances) * self.workers_per_instance,
+            all_pipes,
+        )
+        for index, ictx in enumerate(self.instances):
+            for worker_id in range(self.workers_per_instance):
+                rng = ictx.rng.fork(worker_id + 1)
+                self.sim.process(
+                    self._worker(ictx, rng, barrier, worker_id),
+                    name=f"inst{index}.w{worker_id}",
+                )
+        self.sim.run()
+        elapsed = max(1, self._end_ns - (barrier.start_ns or 0))
+        meters = [ictx.engine.meter for ictx in self.instances]
+        return RunResult(
+            txns=self._txns,
+            queries=self._queries,
+            elapsed_ns=elapsed,
+            avg_latency_ns=self.latency.mean_ns,
+            p95_latency_ns=self.latency.p95_ns if self.latency.count else 0.0,
+            pipe_bandwidth=_bandwidths(pipes_by_key),
+            counters=_merge_counters(meters),
+        )
+
+    def _worker(
+        self, ictx: InstanceCtx, rng: WorkloadRng, barrier: _Barrier, worker_id: int
+    ):
+        # Stagger worker starts so identical service times don't
+        # phase-lock completions into bursty buckets.
+        if worker_id:
+            yield self.sim.timeout(worker_id * 9_700)
+        for _ in range(self.warmup_txns):
+            yield from self._one_txn(ictx, rng)
+        yield barrier.arrive()
+        for _ in range(self.measure_txns):
+            start = self.sim.now
+            stats = yield from self._one_txn(ictx, rng)
+            self.latency.add(self.sim.now - start)
+            self._txns += 1
+            self._queries += stats.queries
+            if self.timeline is not None:
+                self.timeline.record(self.sim.now, stats.queries)
+            self._end_ns = max(self._end_ns, self.sim.now)
+
+    def _one_txn(self, ictx: InstanceCtx, rng: WorkloadRng):
+        stats = self.txn_fn(ictx.engine, rng)
+        yield from ictx.settler.settle()
+        return stats
+
+
+class SharingDriver:
+    """Multi-primary nodes under an Op-list workload."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[MultiPrimaryNode],
+        hosts: Sequence[Host],
+        txn_ops_fn: Callable[[WorkloadRng, int, float], list[Op]],
+        shared_pct: float,
+        cost: Optional[CostModel] = None,
+        rng: Optional[WorkloadRng] = None,
+        workers_per_node: int = 16,
+        warmup_txns: int = 2,
+        measure_txns: int = 8,
+    ) -> None:
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.hosts = list(hosts)
+        self.txn_ops_fn = txn_ops_fn
+        self.shared_pct = shared_pct
+        self.cost = cost or CostModel()
+        self.rng = rng or WorkloadRng()
+        self.workers_per_node = workers_per_node
+        self.warmup_txns = warmup_txns
+        self.measure_txns = measure_txns
+        self.latency = LatencyRecorder()
+        self._queries = 0
+        self._txns = 0
+        self._end_ns = 0
+
+    def run(self) -> RunResult:
+        pipes_by_key = _collect_pipes(self.hosts)
+        all_pipes = [pipe for pipes in pipes_by_key.values() for pipe in pipes]
+        barrier = _Barrier(
+            self.sim, len(self.nodes) * self.workers_per_node, all_pipes
+        )
+        for node_index, node in enumerate(self.nodes):
+            for worker_id in range(self.workers_per_node):
+                rng = self.rng.fork(node_index * 1000 + worker_id + 1)
+                self.sim.process(
+                    self._worker(node, node_index, rng, barrier, worker_id),
+                    name=f"{node.node_id}.w{worker_id}",
+                )
+        self.sim.run()
+        elapsed = max(1, self._end_ns - (barrier.start_ns or 0))
+        meters = [node.engine.meter for node in self.nodes]
+        lock_waits = self.nodes[0].lock_service.contended_acquires
+        return RunResult(
+            txns=self._txns,
+            queries=self._queries,
+            elapsed_ns=elapsed,
+            avg_latency_ns=self.latency.mean_ns,
+            p95_latency_ns=self.latency.p95_ns if self.latency.count else 0.0,
+            pipe_bandwidth=_bandwidths(pipes_by_key),
+            counters=_merge_counters(meters),
+            lock_waits=lock_waits,
+        )
+
+    def _worker(
+        self,
+        node: MultiPrimaryNode,
+        node_index: int,
+        rng: WorkloadRng,
+        barrier: _Barrier,
+        worker_id: int,
+    ):
+        if worker_id:
+            yield self.sim.timeout(worker_id * 9_700)
+        for _ in range(self.warmup_txns):
+            yield from self._one_txn(node, node_index, rng)
+        yield barrier.arrive()
+        for _ in range(self.measure_txns):
+            start = self.sim.now
+            queries = yield from self._one_txn(node, node_index, rng)
+            self.latency.add(self.sim.now - start)
+            self._txns += 1
+            self._queries += queries
+            self._end_ns = max(self._end_ns, self.sim.now)
+
+    def _one_txn(self, node: MultiPrimaryNode, node_index: int, rng: WorkloadRng):
+        ops = self.txn_ops_fn(rng, node_index, self.shared_pct)
+        for op in ops:
+            node.engine.meter.charge_ns(self.cost.query_fixed_ns)
+            if op.kind == "select":
+                yield from node.point_select(op.table, op.key)
+            elif op.kind == "update":
+                yield from node.point_update(op.table, op.key, op.field, op.value)
+            elif op.kind == "range":
+                rows = yield from node.range_select(op.table, op.key, op.count)
+                node.engine.meter.charge_ns(self.cost.range_row_ns * len(rows))
+                yield from node.settler.settle()
+            else:
+                raise ValueError(f"unknown op kind {op.kind!r}")
+        return len(ops)
+
+
+def _merge_counters(meters: Sequence[AccessMeter]) -> dict[str, float]:
+    merged: dict[str, float] = {}
+    for meter in meters:
+        for key, value in meter.counters.items():
+            merged[key] = merged.get(key, 0.0) + value
+    return merged

@@ -1,0 +1,234 @@
+"""RDMA baselines: tiered buffer pool, remote memory, RDMA sharing."""
+
+import struct
+
+import pytest
+
+from repro.baselines.rdma_bufferpool import RemoteMemoryNode, TieredRdmaBufferPool
+from repro.baselines.rdma_sharing import RdmaDbpServer, RdmaSharedBufferPool
+from repro.db.bufferpool import BufferPoolFullError
+from repro.db.constants import PAGE_SIZE, PT_LEAF
+from repro.db.page import format_empty_page
+from repro.hardware.cache import LineCacheModel
+from repro.hardware.memory import AccessMeter, MemoryRegion
+from repro.storage.pagestore import PageStore
+
+
+@pytest.fixture
+def meter():
+    return AccessMeter()
+
+
+@pytest.fixture
+def store(meter):
+    store = PageStore(PAGE_SIZE, meter)
+    for page_id in range(30):
+        store.write_page(page_id, format_empty_page(page_id, PT_LEAF))
+    return store
+
+
+@pytest.fixture
+def remote(cluster, store):
+    region = cluster.alloc_remote_memory("rm", 40 * PAGE_SIZE)
+    node = RemoteMemoryNode(region, 40)
+    return node
+
+
+def make_tiered(host, remote, store, meter, capacity=4):
+    region = host.alloc_dram("lbp", capacity * PAGE_SIZE)
+    return TieredRdmaBufferPool(
+        host.map_dram(region, meter, LineCacheModel()),
+        remote,
+        store,
+        capacity,
+        meter,
+    )
+
+
+class TestRemoteMemoryNode:
+    def test_write_then_read_roundtrip(self, remote, meter):
+        image = format_empty_page(3, PT_LEAF)
+        remote.write_page(3, image, meter, dirty=False)
+        assert remote.has(3)
+        assert remote.read_page(3, meter) == image
+
+    def test_transfers_charged_per_page(self, remote, meter):
+        remote.write_page(3, format_empty_page(3, PT_LEAF), meter, dirty=False)
+        remote.read_page(3, meter)
+        assert meter.counters["rdma_bytes"] == 2 * PAGE_SIZE
+        assert meter.counters["rdma_ops_bytes"] == 2  # two NIC ops
+
+    def test_dirty_pages_flush_to_storage(self, remote, store, meter):
+        image = bytearray(format_empty_page(3, PT_LEAF))
+        struct.pack_into("<Q", image, 200, 42)
+        remote.write_page(3, bytes(image), meter, dirty=True)
+        assert remote.flush_to_storage(store) == 1
+        assert struct.unpack_from("<Q", store.read_page_unmetered(3), 200)[0] == 42
+
+    def test_clean_eviction_when_full(self, cluster, store, meter):
+        region = cluster.alloc_remote_memory("small", 2 * PAGE_SIZE)
+        node = RemoteMemoryNode(region, 2)
+        node.write_page(0, format_empty_page(0, PT_LEAF), meter, dirty=False)
+        node.write_page(1, format_empty_page(1, PT_LEAF), meter, dirty=False)
+        node.write_page(2, format_empty_page(2, PT_LEAF), meter, dirty=False)
+        assert node.resident_count == 2
+        assert not node.has(0)
+
+    def test_full_of_dirty_raises(self, cluster, store, meter):
+        region = cluster.alloc_remote_memory("dirty", 1 * PAGE_SIZE)
+        node = RemoteMemoryNode(region, 1)
+        node.write_page(0, format_empty_page(0, PT_LEAF), meter, dirty=True)
+        with pytest.raises(BufferPoolFullError):
+            node.write_page(1, format_empty_page(1, PT_LEAF), meter, dirty=True)
+
+
+class TestTieredRdmaBufferPool:
+    def test_miss_prefers_remote_over_storage(self, host, remote, store, meter):
+        remote.write_page(5, format_empty_page(5, PT_LEAF), meter, dirty=False)
+        pool = make_tiered(host, remote, store, meter)
+        meter.reset()
+        pool.get_page(5)
+        assert pool.remote_fetches == 1
+        assert pool.storage_fetches == 0
+        assert meter.counters["rdma_bytes"] == PAGE_SIZE
+
+    def test_miss_falls_back_to_storage(self, host, remote, store, meter):
+        pool = make_tiered(host, remote, store, meter)
+        pool.get_page(5)
+        assert pool.storage_fetches == 1
+
+    def test_dirty_eviction_pushes_whole_page(self, host, remote, store, meter):
+        pool = make_tiered(host, remote, store, meter, capacity=2)
+        view = pool.get_page(0)
+        view.write_u64(300, 777)  # tiny change...
+        pool.mark_dirty(0)
+        pool.unpin(0)
+        pool.get_page(1)
+        pool.unpin(1)
+        meter.reset()
+        pool.get_page(2)  # evicts page 0 (page 2 itself comes from storage)
+        # ...but a full 16 KB crossed the wire for a u64 change: write
+        # amplification.
+        rdma_bytes = meter.counters["rdma_bytes"]
+        assert rdma_bytes == PAGE_SIZE
+        assert remote.has(0)
+        assert struct.unpack_from(
+            "<Q", remote.read_page(0, meter), 300
+        )[0] == 777
+
+    def test_clean_eviction_skips_push_when_remote_has_it(
+        self, host, remote, store, meter
+    ):
+        remote.write_page(0, format_empty_page(0, PT_LEAF), meter, dirty=False)
+        pool = make_tiered(host, remote, store, meter, capacity=1)
+        pool.get_page(0)
+        pool.unpin(0)
+        writes_before = remote.writes
+        pool.get_page(1)  # evicts clean page 0; remote already has it
+        assert remote.writes == writes_before
+
+    def test_checkpoint_flushes_local_and_remote(self, host, remote, store, meter):
+        pool = make_tiered(host, remote, store, meter, capacity=4)
+        view = pool.get_page(0)
+        view.write_u64(100, 1)
+        pool.mark_dirty(0)
+        remote.write_page(9, format_empty_page(9, PT_LEAF), meter, dirty=True)
+        flushed = pool.flush_dirty_pages()
+        assert flushed == 2
+
+    def test_hit_ratio(self, host, remote, store, meter):
+        pool = make_tiered(host, remote, store, meter, capacity=4)
+        pool.get_page(0)
+        pool.unpin(0)
+        pool.get_page(0)
+        pool.unpin(0)
+        assert pool.hit_ratio == 0.5
+
+    def test_install_page_for_recovery(self, host, remote, store, meter):
+        pool = make_tiered(host, remote, store, meter)
+        pool.install_page(7, format_empty_page(7, PT_LEAF), dirty=True)
+        assert pool.contains(7)
+        assert pool.dirty_count == 1
+
+
+@pytest.fixture
+def dbp(cluster, store):
+    region = cluster.alloc_remote_memory("dbp", 32 * PAGE_SIZE)
+    return RdmaDbpServer(region, 32, store)
+
+
+def make_shared_pool(host, dbp, meter, node_id="n0", capacity=4):
+    region = host.alloc_dram(f"{node_id}.lbp", capacity * PAGE_SIZE)
+    return RdmaSharedBufferPool(
+        node_id,
+        dbp,
+        host.map_dram(region, meter, LineCacheModel()),
+        capacity,
+        meter,
+    )
+
+
+class TestRdmaSharing:
+    def test_invalidation_forces_refetch(self, host, dbp, store):
+        meter_a, meter_b = AccessMeter(), AccessMeter()
+        pool_a = make_shared_pool(host, dbp, meter_a, "a")
+        pool_b = make_shared_pool(host, dbp, meter_b, "b")
+        # Both cache page 3.
+        view_a = pool_a.get_page(3)
+        pool_a.unpin(3)
+        pool_b.get_page(3)
+        pool_b.unpin(3)
+        # A modifies and flushes on lock release.
+        view_a = pool_a.get_page(3)
+        view_a.write_u64(200, 99)
+        pool_a.unpin(3)
+        sent = pool_a.flush_page_writes(3)
+        assert sent == 1  # one invalidation message to b
+        # B's next read refetches the new version.
+        view_b = pool_b.get_page(3)
+        assert view_b.read_u64(200) == 99
+        assert pool_b.refetches == 1
+        pool_b.unpin(3)
+
+    def test_stale_without_flush_negative_control(self, host, dbp, store):
+        meter_a, meter_b = AccessMeter(), AccessMeter()
+        pool_a = make_shared_pool(host, dbp, meter_a, "a")
+        pool_b = make_shared_pool(host, dbp, meter_b, "b")
+        pool_b.get_page(4)
+        pool_b.unpin(4)
+        view_a = pool_a.get_page(4)
+        view_a.write_u64(200, 55)  # local only, no flush
+        pool_a.unpin(4)
+        view_b = pool_b.get_page(4)
+        assert view_b.read_u64(200) == 0  # genuinely stale
+        pool_b.unpin(4)
+
+    def test_whole_page_flush_charged(self, host, dbp, store):
+        meter = AccessMeter()
+        pool = make_shared_pool(host, dbp, meter, "solo")
+        view = pool.get_page(5)
+        view.write_u64(300, 1)
+        pool.unpin(5)
+        meter.reset()
+        pool.flush_page_writes(5)
+        assert meter.counters["rdma_bytes"] == PAGE_SIZE
+
+    def test_recycle_drops_node_copies(self, host, dbp, store):
+        meter = AccessMeter()
+        pool = make_shared_pool(host, dbp, meter, "r")
+        pool.get_page(6)
+        pool.unpin(6)
+        dbp.recycle(count=dbp.n_slots)
+        assert not pool.contains(6)
+        # Next access reloads through the server.
+        view = pool.get_page(6)
+        assert view.stored_page_id == 6
+
+    def test_lbp_eviction_frame_reuse(self, host, dbp, store):
+        meter = AccessMeter()
+        pool = make_shared_pool(host, dbp, meter, "e", capacity=2)
+        for page_id in (0, 1, 2):
+            pool.get_page(page_id)
+            pool.unpin(page_id)
+        assert not pool.contains(0)
+        assert pool.contains(1) and pool.contains(2)

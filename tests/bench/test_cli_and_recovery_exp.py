@@ -1,0 +1,52 @@
+"""The CLI experiment registry and recovery-experiment plumbing."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, _benchmarks_dir, main
+from repro.bench.recovery_exp import RECOVERY_SCHEMES, RecoveryTimeline
+
+
+class TestCliRegistry:
+    def test_every_experiment_file_exists(self):
+        bench_dir = _benchmarks_dir()
+        for name, filename in EXPERIMENTS.items():
+            assert (bench_dir / filename).exists(), name
+
+    def test_every_bench_file_is_registered(self):
+        bench_dir = _benchmarks_dir()
+        files = {p.name for p in bench_dir.glob("test_*.py")}
+        registered = set(EXPERIMENTS.values())
+        assert files == registered
+
+    def test_list_exits_cleanly(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestRecoverySchemes:
+    def test_scheme_to_system_mapping(self):
+        assert RECOVERY_SCHEMES == {
+            "polarrecv": "cxl",
+            "rdma": "rdma",
+            "vanilla": "dram",
+        }
+
+    def test_timeline_derived_metric(self):
+        timeline = RecoveryTimeline(
+            scheme="x",
+            mix="m",
+            series=[(0.0, 1.0)],
+            crash_time_s=1.0,
+            recovery_seconds=2.0,
+            pre_crash_qps=10.0,
+            warmup_seconds=3.0,
+        )
+        assert timeline.downtime_plus_warmup_seconds == 5.0

@@ -1,0 +1,132 @@
+"""Property-based invariants of the CXL-resident pool structures.
+
+The LRU double-linked list and the free list live in CXL memory and are
+what PolarRecv trusts after a crash; these tests drive them with random
+operation sequences against in-Python models.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.block import BLOCK_NIL
+from repro.db.constants import PT_LEAF
+
+from ..conftest import make_cxl_engine
+
+
+@st.composite
+def pool_ops(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["new", "touch", "flushes"]),
+                st.integers(100, 130),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+
+
+def _model_order(model: list[int]) -> list[int]:
+    """Expected page ids head→tail given most-recent-first model list."""
+    return model
+
+
+class TestLruModel:
+    @given(pool_ops())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_lru_matches_model(self, ops):
+        from repro.hardware.host import Cluster
+        from repro.sim.core import Simulator
+
+        cluster = Cluster(Simulator())
+        host = cluster.add_host("h")
+        ctx = make_cxl_engine(cluster, host, n_blocks=64, name="lruprop")
+        pool = ctx.pool
+        from repro.db.constants import META_PAGE_ID
+
+        model: list[int] = [META_PAGE_ID]  # most recent first
+        for op, page_id in ops:
+            if op == "new":
+                if page_id in model:
+                    continue
+                pool.new_page(page_id, PT_LEAF)
+                pool.unpin(page_id)
+                model.insert(0, page_id)
+            elif op == "touch":
+                if page_id not in model:
+                    continue
+                pool.get_page(page_id)
+                pool.unpin(page_id)
+                model.remove(page_id)
+                model.insert(0, page_id)
+            else:
+                pool.flush_dirty_pages()
+        observed = [pool.meta(i).page_id for i in pool.lru_order()]
+        assert observed == model
+
+    @given(pool_ops())
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_block_accounting_invariant(self, ops):
+        """in-use blocks + free-list blocks == n_blocks, always."""
+        from repro.hardware.host import Cluster
+        from repro.sim.core import Simulator
+
+        cluster = Cluster(Simulator())
+        host = cluster.add_host("h")
+        n_blocks = 16
+        ctx = make_cxl_engine(cluster, host, n_blocks=n_blocks, name="acct")
+        pool = ctx.pool
+        for op, page_id in ops:
+            if op == "new":
+                if pool.contains(page_id):
+                    continue
+                pool.new_page(page_id, PT_LEAF)
+                pool.unpin(page_id)
+            elif op == "touch" and pool.contains(page_id):
+                pool.get_page(page_id)
+                pool.unpin(page_id)
+            elif op == "flushes":
+                pool.flush_dirty_pages()
+            # Invariant after every operation:
+            free = 0
+            cursor = pool.header.free_head
+            while cursor != BLOCK_NIL:
+                free += 1
+                cursor = pool.meta(cursor).next
+                assert free <= n_blocks, "free list cycle"
+            in_use = sum(1 for meta in pool.iter_metas() if meta.in_use)
+            assert free + in_use == n_blocks
+            assert in_use == pool.resident_count
+            assert len(pool.lru_order()) == in_use
+
+
+class TestEvictionChurn:
+    def test_sustained_churn_preserves_structures(self, cluster, host):
+        """Hammer a tiny pool with far more pages than blocks."""
+        ctx = make_cxl_engine(cluster, host, n_blocks=8, name="churn")
+        pool = ctx.pool
+        for round_number in range(5):
+            for page_id in range(100, 130):
+                if pool.contains(page_id):
+                    pool.get_page(page_id)
+                else:
+                    try:
+                        pool.new_page(page_id, PT_LEAF)
+                    except ValueError:
+                        pool.get_page(page_id)
+                pool.unpin(page_id)
+        assert pool.resident_count <= 8
+        assert len(pool.lru_order()) == pool.resident_count
+        assert not pool.header.lru_mutation_flag
+        assert pool.evictions > 50

@@ -1,0 +1,149 @@
+"""LocalBufferPool: frames, pins, LRU eviction, dirty tracking."""
+
+import pytest
+
+from repro.db.bufferpool import BufferPoolFullError, LocalBufferPool
+from repro.db.constants import PAGE_SIZE, PT_LEAF
+from repro.db.page import format_empty_page
+from repro.hardware.cache import LineCacheModel
+from repro.hardware.memory import AccessMeter
+from repro.storage.pagestore import PageStore
+
+
+@pytest.fixture
+def meter():
+    return AccessMeter()
+
+
+@pytest.fixture
+def store(meter):
+    store = PageStore(PAGE_SIZE, meter)
+    for page_id in range(20):
+        store.write_page(page_id, format_empty_page(page_id, PT_LEAF))
+    return store
+
+
+def make_pool(host, store, meter, capacity=4):
+    region = host.alloc_dram("bp", capacity * PAGE_SIZE)
+    return LocalBufferPool(
+        host.map_dram(region, meter, LineCacheModel()), store, capacity
+    )
+
+
+class TestGetPage:
+    def test_miss_loads_from_storage(self, host, store, meter):
+        pool = make_pool(host, store, meter)
+        view = pool.get_page(3)
+        assert view.stored_page_id == 3
+        assert pool.misses == 1
+        assert pool.contains(3)
+
+    def test_hit_does_not_reload(self, host, store, meter):
+        pool = make_pool(host, store, meter)
+        pool.get_page(3)
+        pool.unpin(3)
+        reads_before = store.reads
+        pool.get_page(3)
+        assert store.reads == reads_before
+        assert pool.hits == 1
+
+    def test_eviction_when_full(self, host, store, meter):
+        pool = make_pool(host, store, meter, capacity=2)
+        for page_id in (0, 1):
+            pool.get_page(page_id)
+            pool.unpin(page_id)
+        pool.get_page(2)  # evicts page 0 (LRU)
+        assert not pool.contains(0)
+        assert pool.contains(1)
+        assert pool.evictions == 1
+
+    def test_pinned_pages_not_evicted(self, host, store, meter):
+        pool = make_pool(host, store, meter, capacity=2)
+        pool.get_page(0)  # stays pinned
+        pool.get_page(1)
+        pool.unpin(1)
+        pool.get_page(2)  # must evict 1, not 0
+        assert pool.contains(0)
+        assert not pool.contains(1)
+
+    def test_all_pinned_raises(self, host, store, meter):
+        pool = make_pool(host, store, meter, capacity=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        with pytest.raises(BufferPoolFullError):
+            pool.get_page(2)
+
+
+class TestDirty:
+    def test_dirty_eviction_writes_back(self, host, store, meter):
+        pool = make_pool(host, store, meter, capacity=2)
+        view = pool.get_page(0)
+        view.write_u64(100, 777)
+        pool.mark_dirty(0)
+        pool.unpin(0)
+        pool.get_page(1)
+        pool.unpin(1)
+        pool.get_page(2)  # evicts dirty page 0
+        import struct
+
+        assert struct.unpack_from("<Q", store.read_page_unmetered(0), 100)[0] == 777
+
+    def test_flush_dirty_pages(self, host, store, meter):
+        pool = make_pool(host, store, meter, capacity=8)
+        for page_id in (0, 1, 2):
+            view = pool.get_page(page_id)
+            view.write_u64(64, page_id + 100)
+            pool.mark_dirty(page_id)
+            pool.unpin(page_id)
+        assert pool.dirty_count == 3
+        assert pool.flush_dirty_pages() == 3
+        assert pool.dirty_count == 0
+
+    def test_mark_dirty_nonresident_raises(self, host, store, meter):
+        pool = make_pool(host, store, meter)
+        with pytest.raises(KeyError):
+            pool.mark_dirty(19)
+
+
+class TestNewAndInstall:
+    def test_new_page_is_dirty_and_formatted(self, host, store, meter):
+        pool = make_pool(host, store, meter)
+        view = pool.new_page(50, PT_LEAF, level=0)
+        assert view.stored_page_id == 50
+        assert view.nrecs == 0
+        assert 50 in pool._dirty
+
+    def test_new_page_duplicate_rejected(self, host, store, meter):
+        pool = make_pool(host, store, meter)
+        pool.new_page(50, PT_LEAF)
+        with pytest.raises(ValueError):
+            pool.new_page(50, PT_LEAF)
+
+    def test_install_page_places_image(self, host, store, meter):
+        pool = make_pool(host, store, meter)
+        image = format_empty_page(60, PT_LEAF)
+        pool.install_page(60, image, dirty=True)
+        assert pool.contains(60)
+        assert pool.get_page(60).stored_page_id == 60
+
+    def test_unpin_without_pin_raises(self, host, store, meter):
+        pool = make_pool(host, store, meter)
+        with pytest.raises(RuntimeError):
+            pool.unpin(0)
+
+    def test_double_pin_needs_double_unpin(self, host, store, meter):
+        pool = make_pool(host, store, meter, capacity=2)
+        pool.get_page(0)
+        pool.get_page(0)
+        pool.unpin(0)
+        pool.get_page(1)
+        pool.unpin(1)
+        # page 0 still pinned once -> cannot be evicted
+        pool.get_page(2)
+        assert pool.contains(0)
+
+    def test_resident_page_ids(self, host, store, meter):
+        pool = make_pool(host, store, meter)
+        pool.get_page(4)
+        pool.get_page(7)
+        assert sorted(pool.resident_page_ids()) == [4, 7]

@@ -1,0 +1,47 @@
+"""engine_report: the SHOW-ENGINE-STATUS equivalent."""
+
+import pytest
+
+from repro.db.introspect import engine_report
+from repro.db.record import Field, RecordCodec
+
+from ..conftest import SMALL_CODEC, fill_table, make_cxl_engine, make_local_engine
+
+
+class TestEngineReport:
+    def test_local_engine_sections(self, host):
+        ctx = make_local_engine(host)
+        table = fill_table(ctx, rows=100)
+        report = engine_report(ctx.engine)
+        assert report["name"] == "local"
+        assert not report["crashed"]
+        assert report["buffer_pool"]["kind"] == "LocalBufferPool"
+        assert report["buffer_pool"]["resident_count"] > 0
+        assert 0.0 <= report["buffer_pool"]["hit_ratio"] <= 1.0
+        assert report["wal"]["durable_max_lsn"] > 0
+        assert report["tables"]["t"]["records"] == 100
+        assert report["storage"]["pages"] >= 1
+
+    def test_cxl_engine_reports_blocks(self, cluster, host):
+        ctx = make_cxl_engine(cluster, host, n_blocks=64)
+        fill_table(ctx, rows=50)
+        report = engine_report(ctx.engine)
+        assert report["buffer_pool"]["kind"] == "CxlBufferPool"
+        assert report["buffer_pool"]["n_blocks"] == 64
+
+    def test_index_stats_included(self, host):
+        codec = RecordCodec([Field("id", 8), Field("k", 4)])
+        ctx = make_local_engine(host, name="idx")
+        table = ctx.engine.create_table("t", codec, index_fields=("k",))
+        mtr = ctx.engine.mtr()
+        for key in range(1, 30):
+            table.insert(mtr, key, {"id": key, "k": key % 3})
+        mtr.commit()
+        report = engine_report(ctx.engine)
+        assert report["tables"]["t"]["indexes"]["k"]["records"] == 29
+
+    def test_skip_tree_walk(self, host):
+        ctx = make_local_engine(host)
+        fill_table(ctx, rows=50)
+        report = engine_report(ctx.engine, include_trees=False)
+        assert "tables" not in report

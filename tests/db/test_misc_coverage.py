@@ -1,0 +1,88 @@
+"""Odds and ends: table payload APIs, schema limits, latch helper."""
+
+import pytest
+
+from repro.db.constants import META_MAX_TREES
+from repro.db.record import Field, RecordCodec
+
+from ..conftest import SMALL_CODEC, fill_table, make_local_engine, row_for
+
+
+@pytest.fixture
+def ctx(host):
+    return make_local_engine(host)
+
+
+class TestTablePayloadApis:
+    def test_get_payload_raw_bytes(self, ctx):
+        table = fill_table(ctx, rows=20)
+        mtr = ctx.engine.mtr()
+        payload = table.get_payload(mtr, 5)
+        mtr.commit()
+        assert payload == SMALL_CODEC.encode(row_for(5))
+
+    def test_insert_payload(self, ctx):
+        table = ctx.engine.create_table("t", SMALL_CODEC)
+        raw = SMALL_CODEC.encode(row_for(9))
+        mtr = ctx.engine.mtr()
+        table.insert_payload(mtr, 9, raw)
+        mtr.commit()
+        mtr = ctx.engine.mtr()
+        assert table.get(mtr, 9)["id"] == 9
+        mtr.commit()
+
+    def test_range_payloads(self, ctx):
+        table = fill_table(ctx, rows=30)
+        mtr = ctx.engine.mtr()
+        pairs = table.range_payloads(mtr, 10, 5)
+        mtr.commit()
+        assert [key for key, _ in pairs] == [10, 11, 12, 13, 14]
+        assert pairs[0][1] == SMALL_CODEC.encode(row_for(10))
+
+    def test_record_size_property(self, ctx):
+        table = ctx.engine.create_table("t", SMALL_CODEC)
+        assert table.record_size == SMALL_CODEC.record_size
+
+
+class TestSchemaLimits:
+    def test_tree_slot_exhaustion(self, ctx):
+        tiny = RecordCodec([Field("id", 8)])
+        for index in range(META_MAX_TREES):
+            ctx.engine.create_table(f"t{index}", tiny)
+        with pytest.raises(RuntimeError, match="tree slots"):
+            ctx.engine.create_table("overflow", tiny)
+
+
+class TestLatchHelper:
+    def test_latch_write_persists_until_commit(self, ctx):
+        table = fill_table(ctx, rows=20)
+        mtr = ctx.engine.mtr()
+        leaf_id = table.btree.leaf_page_id_for(mtr, 5)
+        view = mtr.get_page(leaf_id)
+        mtr.latch_write(view)
+        assert leaf_id in ctx.engine.latched_pages
+        mtr.latch_write(view)  # idempotent
+        mtr.commit()
+        assert leaf_id not in ctx.engine.latched_pages
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_results(self):
+        """Guard against accidental nondeterminism anywhere in the stack."""
+        from repro.bench.harness import build_pooling_setup
+        from repro.workloads.driver import PoolingDriver
+        from repro.workloads.sysbench import SysbenchWorkload
+
+        outcomes = []
+        for _ in range(2):
+            workload = SysbenchWorkload(rows=500)
+            setup = build_pooling_setup("cxl", 1, workload, seed=13)
+            driver = PoolingDriver(
+                setup.sim, setup.instances, workload.txn_fn("read_write"),
+                workers_per_instance=3, warmup_txns=1, measure_txns=3,
+            )
+            result = driver.run()
+            outcomes.append(
+                (result.qps, result.avg_latency_ns, result.counters.get("redo_records"))
+            )
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,178 @@
+"""Mini-transactions, transactions, and the engine shell."""
+
+import pytest
+
+from repro.db.constants import META_PAGE_ID, PAGE_HEADER_SIZE, PT_LEAF
+from repro.db.engine import EngineCrashedError
+from repro.db.mtr import MtrStateError
+from repro.db.record import Field, RecordCodec
+
+from ..conftest import SMALL_CODEC, fill_table, make_local_engine, row_for
+
+
+@pytest.fixture
+def ctx(host):
+    return make_local_engine(host)
+
+
+class TestMiniTransaction:
+    def test_writes_staged_until_commit(self, ctx):
+        mtr = ctx.engine.mtr()
+        view = mtr.new_page(PT_LEAF)
+        mtr.write(view, 100, b"abc")
+        # Nothing in the log buffer yet — staged inside the mtr.
+        buffered_before = ctx.redo.buffered_records
+        mtr.commit()
+        assert ctx.redo.buffered_records > buffered_before
+
+    def test_lsn_stamped_at_commit(self, ctx):
+        mtr = ctx.engine.mtr()
+        view = mtr.new_page(PT_LEAF)
+        mtr.write(view, 100, b"abc")
+        assert view.lsn == 0  # not yet stamped
+        mtr.commit()
+        assert view.lsn > 0
+
+    def test_page_marked_dirty_at_commit(self, ctx):
+        mtr = ctx.engine.mtr()
+        view = mtr.new_page(PT_LEAF)
+        page_id = view.page_id
+        mtr.commit()
+        assert page_id in ctx.pool._dirty
+
+    def test_pins_released_at_commit(self, ctx):
+        mtr = ctx.engine.mtr()
+        view = mtr.new_page(PT_LEAF)
+        page_id = view.page_id
+        assert ctx.pool._pins.get(page_id, 0) >= 1
+        mtr.commit()
+        assert ctx.pool._pins.get(page_id, 0) == 0
+
+    def test_use_after_commit_rejected(self, ctx):
+        mtr = ctx.engine.mtr()
+        mtr.commit()
+        with pytest.raises(MtrStateError):
+            mtr.get_page(META_PAGE_ID)
+        with pytest.raises(MtrStateError):
+            mtr.commit()
+
+    def test_write_latch_tracked_until_commit(self, ctx):
+        mtr = ctx.engine.mtr()
+        view = mtr.get_page(META_PAGE_ID, for_write=True)
+        assert META_PAGE_ID in ctx.engine.latched_pages
+        mtr.commit()
+        assert META_PAGE_ID not in ctx.engine.latched_pages
+
+    def test_new_page_header_is_logged(self, ctx):
+        """A page created and committed can be rebuilt from redo alone."""
+        mtr = ctx.engine.mtr()
+        view = mtr.new_page(PT_LEAF)
+        page_id = view.page_id
+        mtr.commit()
+        ctx.redo.flush()
+        records = [
+            record
+            for record in ctx.redo.records_since(0)
+            if record.page_id == page_id and record.offset == 0
+        ]
+        assert records and len(records[0].data) == PAGE_HEADER_SIZE
+
+
+class TestTransaction:
+    def test_commit_makes_redo_durable(self, ctx):
+        table = ctx.engine.create_table("t", SMALL_CODEC)
+        txn = ctx.engine.begin()
+        mtr = txn.mtr()
+        table.insert(mtr, 1, row_for(1))
+        mtr.commit()
+        assert ctx.redo.buffered_records > 0
+        txn.commit()
+        assert ctx.redo.buffered_records == 0
+        assert txn.committed
+
+    def test_context_manager_commits(self, ctx):
+        table = ctx.engine.create_table("t", SMALL_CODEC)
+        with ctx.engine.begin() as txn:
+            mtr = txn.mtr()
+            table.insert(mtr, 1, row_for(1))
+            mtr.commit()
+        assert ctx.redo.buffered_records == 0
+
+    def test_double_commit_rejected(self, ctx):
+        txn = ctx.engine.begin()
+        txn.commit()
+        with pytest.raises(RuntimeError):
+            txn.commit()
+        with pytest.raises(RuntimeError):
+            txn.mtr()
+
+
+class TestEngine:
+    def test_initialize_writes_durable_meta(self, ctx):
+        assert ctx.store.exists(META_PAGE_ID)
+
+    def test_page_ids_allocated_monotonically(self, ctx):
+        mtr = ctx.engine.mtr()
+        first = ctx.engine.allocate_page_id(mtr)
+        second = ctx.engine.allocate_page_id(mtr)
+        mtr.commit()
+        assert second == first + 1
+
+    def test_tree_roots_in_meta_page(self, ctx):
+        table = ctx.engine.create_table("t", SMALL_CODEC)
+        root = ctx.engine.get_tree_root(table.btree.tree_slot)
+        assert root == table.btree.root_page_id
+
+    def test_missing_root_raises(self, ctx):
+        with pytest.raises(RuntimeError):
+            ctx.engine.get_tree_root(30)
+
+    def test_duplicate_table_rejected(self, ctx):
+        ctx.engine.create_table("t", SMALL_CODEC)
+        with pytest.raises(ValueError):
+            ctx.engine.create_table("t", SMALL_CODEC)
+
+    def test_adopt_schema_matches_creation_order(self, host):
+        ctx = make_local_engine(host, name="origin")
+        codec_b = RecordCodec([Field("id", 8), Field("x", 4)])
+        fill_table(ctx, name="alpha", rows=30)
+        table_b = ctx.engine.create_table("beta", codec_b)
+        mtr = ctx.engine.mtr()
+        table_b.insert(mtr, 5, {"id": 5, "x": 9})
+        mtr.commit()
+        ctx.engine.redo_log.flush()
+        ctx.engine.checkpoint()
+
+        # A second engine over the same storage re-declares the schema.
+        fresh = make_local_engine(
+            host, name="reopen", store=ctx.store, redo=ctx.redo, initialize=False
+        )
+        fresh.engine.adopt_schema([("alpha", SMALL_CODEC), ("beta", codec_b)])
+        mtr = fresh.engine.mtr()
+        assert fresh.engine.tables["alpha"].get(mtr, 7)["id"] == 7
+        assert fresh.engine.tables["beta"].get(mtr, 5)["x"] == 9
+        mtr.commit()
+
+    def test_checkpoint_flushes_and_prunes(self, ctx):
+        table = fill_table(ctx, rows=50)
+        assert len(ctx.redo.records_since(0)) > 0
+        ctx.engine.checkpoint()
+        assert ctx.redo.records_since(ctx.redo.checkpoint_lsn) == []
+        assert ctx.pool.dirty_count == 0
+
+    def test_crash_blocks_further_use(self, ctx):
+        ctx.engine.crash()
+        with pytest.raises(EngineCrashedError):
+            ctx.engine.mtr()
+        with pytest.raises(EngineCrashedError):
+            ctx.engine.begin()
+        assert ctx.engine.crashed
+
+    def test_crash_reports_lost_records(self, ctx):
+        table = ctx.engine.create_table("t", SMALL_CODEC)
+        ctx.redo.flush()
+        mtr = ctx.engine.mtr()
+        table.insert(mtr, 1, row_for(1))
+        mtr.commit()  # buffered, not flushed
+        lost = ctx.engine.crash()
+        assert lost > 0

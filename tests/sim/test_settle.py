@@ -1,0 +1,97 @@
+"""ChargeSettler: meter charges become simulated time and pipe traffic."""
+
+import pytest
+
+from repro.hardware.memory import AccessMeter
+from repro.sim.resources import Pipe
+from repro.sim.settle import ChargeSettler
+
+
+@pytest.fixture
+def pipe(sim):
+    return Pipe(sim, 1e9, name="p")
+
+
+@pytest.fixture
+def settler(sim, pipe):
+    return ChargeSettler(sim, AccessMeter(), {"p": [pipe]})
+
+
+class TestSettle:
+    def test_latency_becomes_timeout(self, sim, settler):
+        settler.meter.charge_ns(1234)
+        sim.run_process(settler.settle())
+        assert sim.now == 1234
+
+    def test_base_latency_serializes(self, sim, settler):
+        # Two ops with 100 ns base each: bases sum (thread blocks on
+        # each), occupancy overlaps.
+        settler.meter.charge_transfer("p", 1000, base_ns=100)
+        settler.meter.charge_transfer("p", 1000, base_ns=100)
+        sim.run_process(settler.settle())
+        # 200 ns of bases + the two transfers queue FIFO on the pipe
+        # starting after the timeout: 200 + 2000.
+        assert sim.now == 200 + 2000
+
+    def test_meter_drained_after_settle(self, sim, settler):
+        settler.meter.charge_ns(10)
+        settler.meter.charge_transfer("p", 64)
+        sim.run_process(settler.settle())
+        assert settler.meter.ns == 0
+        assert settler.meter.transfers == []
+
+    def test_counters_survive_settle(self, sim, settler):
+        settler.meter.charge_transfer("p", 64)
+        sim.run_process(settler.settle())
+        assert settler.meter.counters["p_bytes"] == 64
+
+    def test_unroutable_key_recorded_not_fatal(self, sim, settler):
+        settler.meter.charge_transfer("nowhere", 64)
+        sim.run_process(settler.settle())
+        assert "nowhere" in settler.unroutable_keys
+
+    def test_extra_ns(self, sim, settler):
+        sim.run_process(settler.settle(extra_ns=500))
+        assert sim.now == 500
+
+    def test_noop_settle(self, sim, settler):
+        sim.run_process(settler.settle())
+        assert sim.now == 0
+
+
+class TestSettleSerial:
+    def test_transfers_serialize(self, sim, pipe, settler):
+        settler.meter.charge_transfer("p", 1000, base_ns=100)
+        settler.meter.charge_transfer("p", 1000, base_ns=100)
+        sim.run_process(settler.settle_serial())
+        # Each transfer: 1000 ns occupancy + 100 ns base, one after the
+        # other.
+        assert sim.now == 2200
+
+    def test_serial_slower_than_concurrent_for_many_ops(self, sim):
+        pipe = Pipe(sim, 1e12)  # bandwidth irrelevant; bases dominate
+        meter_a, meter_b = AccessMeter(), AccessMeter()
+        for meter in (meter_a, meter_b):
+            for _ in range(10):
+                meter.charge_transfer("p", 64, base_ns=1000)
+        settler_a = ChargeSettler(sim, meter_a, {"p": [pipe]})
+        serial_end = sim.run_process(settler_a.settle_serial()) or sim.now
+        assert sim.now >= 10_000
+
+    def test_shared_pipe_contention_across_settlers(self, sim):
+        pipe = Pipe(sim, 1e9)
+        meters = [AccessMeter(), AccessMeter()]
+        for meter in meters:
+            meter.charge_transfer("p", 10_000)
+        done = []
+
+        def worker(meter):
+            settler = ChargeSettler(sim, meter, {"p": [pipe]})
+            yield from settler.settle()
+            done.append(sim.now)
+
+        for meter in meters:
+            sim.process(worker(meter))
+        sim.run()
+        # The second worker's transfer queued behind the first.
+        assert done == [10_000, 20_000]
