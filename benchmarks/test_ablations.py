@@ -8,11 +8,10 @@ Not paper figures — these isolate *why* the design decisions matter:
 4. LRU move period (CXL metadata write traffic vs recency quality).
 """
 
-import pytest
 
 from repro.bench.harness import build_pooling_setup, build_sharing_setup
 from repro.bench.recovery_exp import run_recovery_experiment
-from repro.bench.report import banner, format_table
+from repro.bench.report import banner
 from repro.db.constants import PAGE_SIZE
 from repro.sim.latency import LatencyConfig
 from repro.workloads.driver import PoolingDriver, SharingDriver

@@ -15,7 +15,6 @@ scale that effect is invisible next to tens of seconds of buffer
 refill.
 """
 
-import pytest
 
 from repro.bench.recovery_exp import run_recovery_experiment
 from repro.bench.report import banner, format_series, format_table

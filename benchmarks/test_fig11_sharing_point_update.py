@@ -8,7 +8,6 @@ declines as page-lock contention throttles both systems — but stays
 clearly positive at 100% (paper: 27%). Latency moves inversely.
 """
 
-import pytest
 
 from repro.bench.harness import build_sharing_setup
 from repro.bench.report import banner, format_table, improvement_pct

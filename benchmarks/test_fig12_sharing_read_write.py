@@ -7,7 +7,6 @@ nodes, both at 60% shared) because synchronization demand scales with
 node count. Improvement remains clearly positive at 100%.
 """
 
-import pytest
 
 from repro.bench.harness import build_sharing_setup
 from repro.bench.report import banner, format_table, improvement_pct

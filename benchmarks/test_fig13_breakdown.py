@@ -7,7 +7,6 @@ paper, at 2.24× the memory); as sharing grows the LBP stops mattering
 converge below PolarCXLMem, which wins even against LBP-100%.
 """
 
-import pytest
 
 from repro.bench.harness import build_sharing_setup
 from repro.bench.report import banner, format_table

@@ -6,9 +6,8 @@ Shape: shrinking the LBP inflates RDMA bandwidth several-fold and costs
 throughput; at 100% the system is all-local and RDMA traffic vanishes.
 """
 
-import pytest
 
-from repro.bench.harness import build_pooling_setup, reset_meters
+from repro.bench.harness import build_pooling_setup
 from repro.bench.report import banner, format_table
 from repro.workloads.driver import PoolingDriver
 from repro.workloads.sysbench import SysbenchWorkload

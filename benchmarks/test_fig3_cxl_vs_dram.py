@@ -6,7 +6,6 @@ instance counts the shared bottleneck (client network for range-select,
 WAL device for read-write) makes the two converge.
 """
 
-import pytest
 
 from repro.bench.harness import build_pooling_setup, reset_meters
 from repro.bench.report import banner, format_table

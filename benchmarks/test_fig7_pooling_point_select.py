@@ -7,7 +7,6 @@ at stable latency with far lower interconnect traffic (the ~4× read
 amplification of §4.2 shows as the single-instance bandwidth ratio).
 """
 
-import pytest
 
 from repro.bench.harness import build_pooling_setup, reset_meters
 from repro.bench.report import banner, format_table

@@ -6,7 +6,6 @@ saturates (paper: at ~4 instances, ~11 GB/s). PolarCXLMem keeps
 scaling; latency climbs only on the RDMA side.
 """
 
-import pytest
 
 from repro.bench.harness import build_pooling_setup, reset_meters
 from repro.bench.report import banner, format_table

@@ -5,7 +5,6 @@ mixed workload drowns in RDMA page traffic (paper: saturation at ~8
 instances; ~40% more interconnect bytes than CXL at 1 instance).
 """
 
-import pytest
 
 from repro.bench.harness import build_pooling_setup, reset_meters
 from repro.bench.report import banner, format_table

@@ -8,7 +8,6 @@ smaller one, at strictly lower total memory (paper: TPC-C +72.3%/+16.4%,
 TATP +53.6%/+30.3%; memory 1×/1.1×/1.3×).
 """
 
-import pytest
 
 from repro.bench.harness import build_sharing_setup
 from repro.bench.report import banner, format_table, improvement_pct

@@ -144,7 +144,7 @@ def _load_one(system: str, host: Host, workload: Workload, seed: int) -> int:
     meter = AccessMeter()
     store = PageStore(PAGE_SIZE, meter)
     redo = RedoLog(meter)
-    region = host.alloc_dram(f"probe", 4096 * PAGE_SIZE)
+    region = host.alloc_dram("probe", 4096 * PAGE_SIZE)
     pool = LocalBufferPool(
         host.map_dram(region, meter, LineCacheModel()), store, 4096
     )
@@ -372,19 +372,25 @@ def build_sharing_setup(
         host = cluster.add_host(f"node{i}")
         meter = AccessMeter()
         redo = RedoLog(meter, config=config)
+        # Page LSNs in the loaded dataset come from the loader's log;
+        # node LSNs must sort after them or LSN-guarded redo (failover
+        # page rebuild) would skip the node's own durable records.
+        redo.align_lsn(loader_log.next_lsn)
         node_store = PageStore(PAGE_SIZE, meter, config=config)
         node_store._pages = store._pages  # shared durable storage
         if system == "cxl3":
             assert setup.manager is not None and setup.fusion is not None
+            hw_line_cache = LineCacheModel(
+                capacity_bytes=max(1 << 16, n_pages * PAGE_SIZE // 10)
+            )
+            host.register_cache(hw_line_cache)
             pool = HwCoherentSharedPool(
                 f"node{i}",
                 setup.fusion,
                 setup.manager.region,
                 meter,
                 config=config,
-                line_cache=LineCacheModel(
-                    capacity_bytes=max(1 << 16, n_pages * PAGE_SIZE // 10)
-                ),
+                line_cache=hw_line_cache,
             )
         elif system == "cxl":
             assert setup.manager is not None and setup.fusion is not None
@@ -406,6 +412,9 @@ def build_sharing_setup(
                 hit_ns=18.0,
                 pipe_key="cxl",
             )
+            # The functional cache is host SRAM: a node crash must drop
+            # its dirty lines, never write them back.
+            host.register_cache(cpu_cache)
             pool = SharedCxlBufferPool(
                 f"node{i}",
                 setup.fusion,

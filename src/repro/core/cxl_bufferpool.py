@@ -16,11 +16,13 @@ index), pin counts, and the dirty set (also persisted per block as
 
 from __future__ import annotations
 
+import struct
 from typing import Callable, Iterator, Optional
 
 from ..db.bufferpool import BufferPool, BufferPoolFullError, OffsetAccessor
-from ..db.constants import PAGE_SIZE
+from ..db.constants import OFF_LSN, PAGE_SIZE
 from ..db.page import PageView, format_empty_page
+from ..faults.injector import crash_point
 from ..storage.pagestore import PageStore
 from .block import (
     BLOCK_NIL,
@@ -127,11 +129,17 @@ class CxlBufferPool(BufferPool):
             index = self._claim_block()
             image = self.page_store.read_page(page_id)
             self.mem.write(block_data_offset(index), image)
+            # Crash here: page bytes in the block, metadata still free —
+            # the block is reclaimed, the load simply never happened.
+            crash_point("pool.get.loaded")
             meta = self.meta(index)
             meta.set_page_id(page_id)
             meta.set_in_use(True)
             meta.set_dirty_hint(False)
             meta.set_lock_state(0)
+            # Crash here: block metadata live but not yet LRU-linked —
+            # PolarRecv's LRU validation must spot the orphan and relink.
+            crash_point("pool.get.meta_set")
             self._lru_push_head(index)
             self._block_of[page_id] = index
         else:
@@ -147,6 +155,8 @@ class CxlBufferPool(BufferPool):
         self.mem.write(
             block_data_offset(index), format_empty_page(page_id, page_type, level)
         )
+        # Crash here: formatted frame, free metadata — same as a lost load.
+        crash_point("pool.new.formatted")
         meta = self.meta(index)
         meta.set_page_id(page_id)
         meta.set_in_use(True)
@@ -181,7 +191,15 @@ class CxlBufferPool(BufferPool):
     def flush_page(self, page_id: int) -> None:
         index = self._block_of[page_id]
         image = self.mem.read(block_data_offset(index), PAGE_SIZE)
+        # WAL rule: the log must be durable up to the page's LSN before
+        # the page image may reach storage, or a crash could leave
+        # storage holding changes the durable log knows nothing about.
+        self._wal_guard(struct.unpack_from("<Q", image, OFF_LSN)[0])
+        crash_point("pool.flush.read")
         self.page_store.write_page(page_id, image)
+        # Crash here: storage updated but the dirty hint still set — the
+        # page is simply re-flushed after recovery, never lost.
+        crash_point("pool.flush.clean")
         self._dirty.discard(page_id)
         self.meta(index).set_dirty_hint(False)
 
@@ -218,6 +236,9 @@ class CxlBufferPool(BufferPool):
             meta = self.meta(free_head)
             self.header.set_free_head(meta.next)
             meta.set_next(BLOCK_NIL)
+            # Crash here: block popped off the free list but not yet in
+            # use — recovery re-chains it into a fresh free list.
+            crash_point("pool.claim.free")
             return free_head
         return self._evict_one()
 
@@ -239,7 +260,13 @@ class CxlBufferPool(BufferPool):
             self.flush_page(page_id)
         if self.crash_hook is not None:
             self.crash_hook("evict")
+        # Crash here: victim flushed but still linked and in use — it
+        # survives recovery as a clean resident page.
+        crash_point("pool.evict.victim")
         self._lru_remove(index)
+        # Crash here: unlinked from the LRU but metadata still claims a
+        # page — the LRU walk no longer covers every in-use block.
+        crash_point("pool.evict.unlinked")
         meta.set_in_use(False)
         meta.set_page_id(BLOCK_NO_PAGE)
         meta.set_lock_state(0)
@@ -254,6 +281,9 @@ class CxlBufferPool(BufferPool):
         header.set_lru_mutation_flag(True)
         if self.crash_hook is not None:
             self.crash_hook("lru")
+        # Crash here: mutation flag set, links half-rewired — recovery
+        # must discard the persisted LRU and relink from block metadata.
+        crash_point("pool.lru.push")
         meta = self.meta(index)
         old_head = header.lru_head
         meta.set_prev(BLOCK_NIL)
@@ -270,6 +300,7 @@ class CxlBufferPool(BufferPool):
         header.set_lru_mutation_flag(True)
         if self.crash_hook is not None:
             self.crash_hook("lru")
+        crash_point("pool.lru.remove")
         meta = self.meta(index)
         prev, nxt = meta.prev, meta.next
         if prev != BLOCK_NIL:

@@ -17,17 +17,30 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Generator, Iterable, Optional
 
 from ..db.constants import PAGE_SIZE
+from ..faults.injector import active as fault_injector
+from ..faults.injector import crash_point
 from ..hardware.memory import AccessMeter, MemoryRegion
 from ..sim.core import Simulator
 from ..sim.resources import RWLock
 from ..sim.latency import LatencyConfig
 from ..storage.pagestore import PageStore
+from ..storage.wal import RedoLog
 from .coherency import set_remote_flag
+from .recovery import apply_redo_to_image
 
-__all__ = ["PageLockService", "BufferFusionServer", "FusionEntry"]
+__all__ = [
+    "PageLockService",
+    "BufferFusionServer",
+    "FusionEntry",
+    "FusionUnavailableError",
+]
+
+
+class FusionUnavailableError(RuntimeError):
+    """An RPC to the buffer fusion server timed out (server down/partition)."""
 
 
 class PageLockService:
@@ -76,6 +89,23 @@ class PageLockService:
     def is_write_locked(self, page_id: int) -> bool:
         lock = self._locks.get(page_id)
         return lock is not None and lock.held
+
+    def is_write_held(self, page_id: int) -> bool:
+        """Strictly write-held (readers don't count) — failover checks."""
+        lock = self._locks.get(page_id)
+        return lock is not None and lock.write_held
+
+    def force_release_write(self, page_id: int) -> None:
+        """Failover: break the write lock of a node that died holding it."""
+        lock = self._locks.get(page_id)
+        if lock is not None:
+            lock.force_release_write()
+
+    def force_release_read(self, page_id: int) -> None:
+        """Failover: drop one dead reader of the page's lock."""
+        lock = self._locks.get(page_id)
+        if lock is not None:
+            lock.force_release_read()
 
     @property
     def contended_acquires(self) -> int:
@@ -132,7 +162,17 @@ class BufferFusionServer:
         Loads the page from storage into a DBP slot on first touch
         (charged to the requesting node), recycling cold slots if the
         free list is empty.
+
+        Raises :class:`FusionUnavailableError` when the injector has an
+        armed RPC failure for this call — the server never saw the
+        request; the node times out and retries with backoff.
         """
+        injector = fault_injector()
+        if injector is not None and injector.take_rpc_failure("fusion.request_page"):
+            raise FusionUnavailableError(
+                f"request_page({page_id}) from {node_id!r}: fusion server "
+                "did not respond"
+            )
         self.rpcs += 1
         meter.charge_ns(self.config.rpc_base_ns)
         meter.count("fusion_rpcs")
@@ -146,6 +186,9 @@ class BufferFusionServer:
             self.region.write(self.data_offset_of_slot(slot), image)
             meter.charge_ns(self.config.cxl_write_ns(PAGE_SIZE))
             meter.charge_transfer("cxl", PAGE_SIZE)
+            # Crash (of the requesting node) here: the page sits in its
+            # slot but no node is registered for it yet.
+            crash_point("fusion.request.loaded")
             entry = FusionEntry(slot)
             self._entries[page_id] = entry
             self.pages_loaded += 1
@@ -171,6 +214,9 @@ class BufferFusionServer:
         if entry is None:
             raise KeyError(f"page {page_id} not in the DBP")
         entry.dirty = True
+        # Crash (of the writer node) here: its lines are flushed to CXL
+        # but no other node was told — failover pushes the flags.
+        crash_point("fusion.release.dirty")
         pushed = 0
         for node_id, (invalid_addr, _) in entry.active.items():
             if node_id == writer_node or not invalid_addr:
@@ -186,6 +232,76 @@ class BufferFusionServer:
         entry = self._entries.get(page_id)
         if entry is not None:
             entry.active.pop(node_id, None)
+
+    # -- failover ----------------------------------------------------------------------
+
+    def recover_node_failure(
+        self,
+        node_id: str,
+        redo_log: RedoLog,
+        meter: AccessMeter,
+        lock_service: Optional[PageLockService] = None,
+        write_locked_pages: Iterable[int] = (),
+        read_locked_pages: Iterable[int] = (),
+    ) -> int:
+        """Clean up after a node died mid-operation (§3.3 failover).
+
+        A page the dead node had write-locked is suspect: its DBP copy
+        can hold a *partial* cache-line flush (the node crashed inside
+        ``clflush``) or background write-backs of uncommitted lines. Each
+        such page is rebuilt from the storage image plus the dead node's
+        durable redo records, the surviving nodes get invalid flags so
+        they drop any cached lines of it, and only then is the write
+        lock force-released. Locks are never broken before the page is
+        consistent — a waiting writer must not see torn bytes.
+
+        Read locks the node held are simply dropped, and the node is
+        deregistered from every DBP entry. Returns the number of pages
+        rebuilt.
+        """
+        records_by_page: dict[int, list] = {}
+        for record in redo_log.records_since(redo_log.checkpoint_lsn):
+            records_by_page.setdefault(record.page_id, []).append(record)
+        rebuilt = 0
+        for page_id in write_locked_pages:
+            entry = self._entries.get(page_id)
+            if entry is not None:
+                page_records = records_by_page.get(page_id, [])
+                if self.page_store.exists(page_id):
+                    image = bytearray(self.page_store.read_page_unmetered(page_id))
+                    meter.charge_transfer(
+                        "storage",
+                        PAGE_SIZE,
+                        base_ns=self.config.storage_read_base_ns,
+                    )
+                elif page_records:
+                    image = bytearray(PAGE_SIZE)
+                else:
+                    # Nothing durable exists for the page; leave the slot.
+                    image = None
+                if image is not None:
+                    apply_redo_to_image(image, page_records)
+                    self.region.write(
+                        self.data_offset_of_slot(entry.slot), bytes(image)
+                    )
+                    meter.charge_ns(self.config.cxl_write_ns(PAGE_SIZE))
+                    meter.charge_transfer("cxl", PAGE_SIZE)
+                    entry.dirty = True
+                    for other, (invalid_addr, _) in entry.active.items():
+                        if other != node_id and invalid_addr:
+                            set_remote_flag(
+                                self.region, invalid_addr, meter, self.config
+                            )
+                            self.invalidations_pushed += 1
+                    rebuilt += 1
+            if lock_service is not None:
+                lock_service.force_release_write(page_id)
+        if lock_service is not None:
+            for page_id in read_locked_pages:
+                lock_service.force_release_read(page_id)
+        for entry in self._entries.values():
+            entry.active.pop(node_id, None)
+        return rebuilt
 
     # -- background recycling ----------------------------------------------------------------
 
@@ -212,6 +328,10 @@ class BufferFusionServer:
             if entry.dirty:
                 image = self.region.read(self.data_offset_of_slot(entry.slot), PAGE_SIZE)
                 self.page_store.write_page(page_id, image)
+                # Crash here: page durably written, removal flags not yet
+                # pushed — nodes keep a valid (if recycled-from-under-
+                # them-later) address until the next recycle pass.
+                crash_point("fusion.recycle.written")
             for _, (_, removal_addr) in entry.active.items():
                 if removal_addr:
                     set_remote_flag(self.region, removal_addr, meter, self.config)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..faults.injector import crash_point
 from ..hardware.cxl import CxlFabric
 from ..hardware.memory import AccessMeter, MemoryRegion
 from ..sim.latency import LatencyConfig
@@ -80,6 +81,9 @@ class CxlMemoryManager:
         extent = CxlExtent(client_id, self._cursor, aligned)
         self._cursor += aligned
         self._extents.setdefault(client_id, []).append(extent)
+        # Crash here: extent reserved in the manager, client never saw
+        # the reply — the space leaks (bump allocator), nothing corrupts.
+        crash_point("memmgr.allocate")
         return extent
 
     def release(self, client_id: str) -> int:

@@ -33,6 +33,8 @@ import struct
 from dataclasses import dataclass
 
 from ..db.constants import OFF_LSN, PAGE_SIZE
+from ..faults.injector import active as fault_injector
+from ..faults.injector import crash_point
 from ..storage.pagestore import PageStore
 from ..storage.wal import RedoLog, RedoRecord
 from .block import BLOCK_NIL, block_data_offset
@@ -104,6 +106,10 @@ class PolarRecv:
         free: list[int] = []
 
         for meta in pool.iter_metas():
+            # Crash here: recovery itself died mid-scan. Everything it
+            # already rewrote is idempotent, so a second PolarRecv run
+            # over the same extent must succeed (re-entrancy).
+            crash_point("recovery.scan")
             stats.blocks_scanned += 1
             if not meta.in_use:
                 free.append(meta.index)
@@ -130,9 +136,34 @@ class PolarRecv:
                 stats.blocks_discarded += 1
                 continue
             stats.redo_records_applied += apply_redo_to_image(image, page_records)
+            # Mark the block suspect *before* rewriting its bytes. The
+            # page LSN lives in the first cache line, so a torn rebuild
+            # write can stamp a durable-looking LSN onto a half-written
+            # page — without the persisted lock_state, a second recovery
+            # pass would keep the torn bytes as a "clean" page.
+            if not locked:
+                meta.set_lock_state(1)
+            injector = fault_injector()
+            if injector is not None:
+                # Torn variant: only a prefix of the rebuilt image made
+                # it to CXL — the lock_state is still set, so the next
+                # recovery run rebuilds the block again from durable
+                # state instead of trusting the half-written bytes.
+                injector.point(
+                    "recovery.rebuild.image",
+                    torn=lambda rng, i=meta.index, im=bytes(image): (
+                        self._tear_block_write(i, im, rng)
+                    ),
+                )
             self.mem.write(block_data_offset(meta.index), bytes(image))
-            meta.set_lock_state(0)
+            # Dirty hint goes first: between these two stores a crash
+            # leaves either lock_state set (block rebuilt again) or the
+            # hint set (block re-flushed) — never a clean-looking page
+            # whose rebuilt bytes could silently be dropped.
             meta.set_dirty_hint(True)
+            crash_point("recovery.rebuild.marked")
+            meta.set_lock_state(0)
+            crash_point("recovery.rebuild.done")
             in_use.append(meta.index)
             pool.adopt_runtime_entry(page_id, meta.index, dirty=True)
             if locked:
@@ -144,8 +175,18 @@ class PolarRecv:
         if pool.header.lru_mutation_flag or not self._lru_valid(pool, in_use_set):
             pool.rebuild_lru(in_use)
             stats.lru_rebuilt = True
+        # Crash here: pages settled, LRU consistent, free chain stale —
+        # the next recovery recomputes it from block metadata.
+        crash_point("recovery.lru")
         pool.rebuild_free_list(free)
+        crash_point("recovery.done")
         return pool, stats
+
+    def _tear_block_write(self, index: int, image: bytes, rng) -> None:
+        """Crash mid-rebuild: a cache-line-granular prefix reaches CXL."""
+        lines_done = rng.randrange(0, PAGE_SIZE // 64)
+        if lines_done:
+            self.mem.write(block_data_offset(index), image[: lines_done * 64])
 
     def _scan_log(self, stats: RecoveryStats) -> dict[int, list[RedoRecord]]:
         """One sequential scan of the durable log past the checkpoint."""

@@ -34,12 +34,13 @@ from ..db.bufferpool import BufferPool
 from ..db.constants import PAGE_SIZE
 from ..db.engine import Engine
 from ..db.page import PageView
+from ..faults.injector import InjectedCrash, crash_point
 from ..hardware.cache import CpuCache
 from ..hardware.memory import AccessMeter, MemoryRegion
 from ..sim.latency import LatencyConfig
 from ..sim.settle import ChargeSettler
 from .coherency import FlagSlab
-from .fusion import BufferFusionServer, PageLockService
+from .fusion import BufferFusionServer, FusionUnavailableError, PageLockService
 
 __all__ = ["CachedPageAccessor", "SharedCxlBufferPool", "MultiPrimaryNode"]
 
@@ -98,6 +99,7 @@ class SharedCxlBufferPool(BufferPool):
         self._pins: dict[int, int] = {}
         self.invalidations_observed = 0
         self.removals_observed = 0
+        self.rpc_retries = 0
 
     # -- BufferPool interface --------------------------------------------------------------
 
@@ -111,13 +113,7 @@ class SharedCxlBufferPool(BufferPool):
                 self.removals_observed += 1
                 self.flag_slab.clear_removal(meta.entry)
                 self.cpu_cache.invalidate(self.region, meta.data_offset, PAGE_SIZE)
-                meta.data_offset = self.fusion.request_page(
-                    page_id,
-                    self.node_id,
-                    self.flag_slab.invalid_addr(meta.entry),
-                    self.flag_slab.removal_addr(meta.entry),
-                    self.meter,
-                )
+                meta.data_offset = self._request_page_rpc(page_id, meta.entry)
             if self.flag_slab.read_invalid(meta.entry):
                 # Another node modified the page: drop our (clean — the
                 # lock protocol guarantees it) cached lines so the next
@@ -179,6 +175,10 @@ class SharedCxlBufferPool(BufferPool):
         meta = self._meta[page_id]
         written = self.cpu_cache.clflush(self.region, meta.data_offset, PAGE_SIZE)
         self.meter.count("lines_flushed", written)
+        # Crash here: every modified line reached CXL, but the fusion
+        # server was never told — no invalid flags pushed, DBP copy not
+        # marked dirty. Failover must treat the page as suspect.
+        crash_point("sharing.flush.lines")
         self.fusion.on_write_release(page_id, self.node_id, self.meter)
         return written
 
@@ -204,16 +204,39 @@ class SharedCxlBufferPool(BufferPool):
         entry = self._free_entries.pop()
         self.flag_slab.clear_invalid(entry)
         self.flag_slab.clear_removal(entry)
-        data_offset = self.fusion.request_page(
-            page_id,
-            self.node_id,
-            self.flag_slab.invalid_addr(entry),
-            self.flag_slab.removal_addr(entry),
-            self.meter,
-        )
+        data_offset = self._request_page_rpc(page_id, entry)
         meta = _NodePageMeta(entry, data_offset)
         self._meta[page_id] = meta
         return meta
+
+    def _request_page_rpc(self, page_id: int, entry: int) -> int:
+        """RPC to the fusion server with timeout + exponential backoff.
+
+        The fusion server can be briefly unreachable (restart, network
+        partition); the node burns the RPC timeout, backs off, and
+        retries. Only after ``rpc_max_retries`` consecutive losses does
+        the failure surface to the caller.
+        """
+        attempts = 0
+        while True:
+            try:
+                return self.fusion.request_page(
+                    page_id,
+                    self.node_id,
+                    self.flag_slab.invalid_addr(entry),
+                    self.flag_slab.removal_addr(entry),
+                    self.meter,
+                )
+            except FusionUnavailableError:
+                attempts += 1
+                self.rpc_retries += 1
+                if attempts > self.config.rpc_max_retries:
+                    raise
+                self.meter.charge_ns(
+                    self.config.rpc_timeout_ns
+                    + self.config.rpc_retry_backoff_ns * (2 ** (attempts - 1))
+                )
+                self.meter.count("fusion_rpc_retries")
 
     def _evict_entry(self) -> None:
         for page_id, meta in self._meta.items():
@@ -255,6 +278,11 @@ class MultiPrimaryNode:
         self.engine = engine
         self.lock_service = lock_service
         self.settler = settler
+        # Distributed locks this node currently holds. When the node
+        # crashes mid-operation these record what failover must break
+        # (a lease/epoch table in a real deployment).
+        self.read_locks_held: set[int] = set()
+        self.write_locks_held: set[int] = set()
 
     def _leaf_of(self, table_name: str, key: int) -> int:
         table = self.engine.tables[table_name]
@@ -268,13 +296,20 @@ class MultiPrimaryNode:
         leaf_id = self._leaf_of(table_name, key)
         yield from self.settler.settle()
         yield from self.lock_service.lock_read(leaf_id)
+        self.read_locks_held.add(leaf_id)
         try:
             mtr = self.engine.mtr()
             row = self.engine.tables[table_name].get(mtr, key)
             mtr.commit()
             yield from self.settler.settle()
-        finally:
-            self.lock_service.unlock_read(leaf_id)
+        except InjectedCrash:
+            # The node just died: it cannot run its unlock path. The
+            # lock stays held until failover force-releases it.
+            raise
+        except BaseException:
+            self._unlock_read(leaf_id)
+            raise
+        self._unlock_read(leaf_id)
         return row
 
     def point_update(
@@ -289,6 +324,7 @@ class MultiPrimaryNode:
         leaf_id = self._leaf_of(table_name, key)
         yield from self.settler.settle()
         yield from self.lock_service.lock_write(leaf_id)
+        self.write_locks_held.add(leaf_id)
         try:
             txn = self.engine.begin()
             mtr = txn.mtr()
@@ -297,10 +333,21 @@ class MultiPrimaryNode:
             )
             mtr.commit()
             txn.commit()
+            # Crash here: the update is durable in the node's redo log
+            # but sits dirty in its CPU cache — CXL still holds the old
+            # bytes. Failover rebuilds from storage + durable redo.
+            crash_point("node.update.logged")
             self.engine.buffer_pool.flush_page_writes(leaf_id)
             yield from self.settler.settle()
-        finally:
-            self.lock_service.unlock_write(leaf_id)
+        except InjectedCrash:
+            # Dead node: the write lock stays held (protecting readers
+            # from the possibly-torn page) until failover rebuilds the
+            # page and force-releases it.
+            raise
+        except BaseException:
+            self._unlock_write(leaf_id)
+            raise
+        self._unlock_write(leaf_id)
         return found
 
     def range_select(
@@ -310,11 +357,24 @@ class MultiPrimaryNode:
         leaf_id = self._leaf_of(table_name, start_key)
         yield from self.settler.settle()
         yield from self.lock_service.lock_read(leaf_id)
+        self.read_locks_held.add(leaf_id)
         try:
             mtr = self.engine.mtr()
             rows = self.engine.tables[table_name].range(mtr, start_key, count)
             mtr.commit()
             yield from self.settler.settle()
-        finally:
-            self.lock_service.unlock_read(leaf_id)
+        except InjectedCrash:
+            raise
+        except BaseException:
+            self._unlock_read(leaf_id)
+            raise
+        self._unlock_read(leaf_id)
         return rows
+
+    def _unlock_read(self, leaf_id: int) -> None:
+        self.lock_service.unlock_read(leaf_id)
+        self.read_locks_held.discard(leaf_id)
+
+    def _unlock_write(self, leaf_id: int) -> None:
+        self.lock_service.unlock_write(leaf_id)
+        self.write_locks_held.discard(leaf_id)

@@ -17,13 +17,14 @@ paper highlights as key for a commercially deployable design (§3.1).
 
 from __future__ import annotations
 
+import struct
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Optional
 
 from ..hardware.memory import MappedMemory
 from ..storage.pagestore import PageStore
-from .constants import PAGE_SIZE
+from .constants import OFF_LSN, PAGE_SIZE
 from .page import PageView, format_empty_page
 
 __all__ = ["BufferPool", "LocalBufferPool", "OffsetAccessor", "BufferPoolFullError"]
@@ -53,6 +54,21 @@ class BufferPool(ABC):
     """What the transaction engine requires of any buffer pool."""
 
     page_size: int = PAGE_SIZE
+    redo_log = None  # set via attach_redo_log; enforces the WAL rule
+
+    def attach_redo_log(self, redo_log) -> None:
+        """Bind the log whose durability gates page flushes (WAL rule)."""
+        self.redo_log = redo_log
+
+    def _wal_guard(self, page_lsn: int) -> None:
+        """Force the log before a page image newer than it hits storage.
+
+        Write-ahead logging's one invariant: storage must never hold a
+        page whose LSN exceeds the durable log, or a crash leaves
+        changes on disk that replay knows nothing about.
+        """
+        if self.redo_log is not None and page_lsn > self.redo_log.durable_max_lsn:
+            self.redo_log.flush()
 
     @abstractmethod
     def get_page(self, page_id: int) -> PageView:
@@ -180,6 +196,7 @@ class LocalBufferPool(BufferPool):
     def flush_page(self, page_id: int) -> None:
         frame = self._frame_of[page_id]
         image = self.mapped.read(frame * PAGE_SIZE, PAGE_SIZE)
+        self._wal_guard(struct.unpack_from("<Q", image, OFF_LSN)[0])
         self.page_store.write_page(page_id, image)
         self._dirty.discard(page_id)
 

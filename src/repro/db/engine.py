@@ -69,6 +69,7 @@ class Engine:
         self.tables: dict[str, Table] = {}
         self._next_tree_slot = 0
         self.latched_pages: set[int] = set()
+        buffer_pool.attach_redo_log(redo_log)
         self.checkpointer = Checkpointer(redo_log, buffer_pool)
         self._crashed = False
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import struct
 from typing import TYPE_CHECKING
 
+from ..faults.injector import crash_point
 from .bufferpool import BufferPool
 from .constants import PAGE_HEADER_SIZE
 from .page import format_empty_page
@@ -106,6 +107,9 @@ class MiniTransaction:
         if self.txn is not None:
             self._undo.append((view.page_id, offset, view.read(offset, len(data))))
         view.write(offset, bytes(data))
+        # Crash here: page bytes changed, redo not yet staged, write
+        # latch held — the persisted lock_state is PolarRecv's signal.
+        crash_point("mtr.write.applied")
         self._staged.append((view.page_id, offset, bytes(data)))
         self._touched_views.append(view)
         self.engine.meter.charge_ns(self.engine.cost.log_record_ns)
@@ -122,12 +126,17 @@ class MiniTransaction:
         """Publish staged redo, stamp LSNs, release latches and pins."""
         self._check_active()
         self._committed = True
+        # Crash here: all modifications applied, nothing in the log
+        # buffer, every latch still held.
+        crash_point("mtr.commit.begin")
         redo_log = self.engine.redo_log
-        pool = self.engine.buffer_pool
         last_lsn_of: dict[int, int] = {}
         for page_id, offset, data in self._staged:
             lsn = redo_log.append(page_id, offset, data)
             last_lsn_of[page_id] = lsn
+        # Crash here: records sit in the volatile log buffer (lost with
+        # the host), latches still held.
+        crash_point("mtr.commit.staged")
         for view in self._touched_views:
             lsn = last_lsn_of.get(view.page_id)
             if lsn is not None and view.lsn < lsn:
@@ -138,6 +147,9 @@ class MiniTransaction:
         for latch_pool, page_id in self._write_latched:
             latch_pool.note_write_latch(page_id, held=False)
             self.engine.latched_pages.discard(page_id)
+        # Crash here: latches released (lock_state cleared in CXL), page
+        # LSNs stamped past the durable maximum — the "too new" signal.
+        crash_point("mtr.commit.unlatched")
         for pin_pool, page_id in self._pins:
             pin_pool.unpin(page_id)
         if self.txn is not None and self._undo:

@@ -1,0 +1,598 @@
+"""Crash-anywhere recovery sweeps over the fault-injection crash points.
+
+The FoundationDB-style argument for trusting recovery is exhaustive,
+deterministic crash coverage: enumerate every crash point a canonical
+workload actually reaches (one golden run with the injector installed
+but nothing armed), then for each ``(point, hit)`` coordinate re-run the
+identical workload, kill the process there, run recovery, and check that
+the recovered database contains **exactly the committed state** — the
+state as of the largest durable LSN at crash time, nothing more, nothing
+less. Fixed seeds make every coordinate reproducible in isolation.
+
+Three sweeps live here:
+
+* :func:`sweep_workload_points` — single-node PolarCXLMem engine. Crash
+  anywhere in mtr commit, WAL append/flush, page flush, LRU relink,
+  eviction, allocation; recover with PolarRecv; compare against the
+  golden run's committed-state oracle.
+* :func:`sweep_recovery_points` — crash *recovery itself* at each of its
+  internal points, then recover again (re-entrancy: a half-finished
+  PolarRecv must leave the extent recoverable).
+* :func:`sweep_sharing_points` — two multi-primary nodes over the buffer
+  fusion server. Crash either node anywhere in the update/select/flush/
+  RPC protocol, run fusion failover (page rebuild from storage + the
+  dead node's durable redo, then force-release of its distributed
+  locks), and verify the survivor reads exactly the committed values —
+  and, when the writer survives, that it can still write (the locks
+  really were released; a leak would deadlock the simulator).
+
+The oracle is a map ``durable_max_lsn -> {key: k}`` snapshotted after
+every transaction of the golden run. The canonical workloads use
+single-mtr transactions, so every durable log prefix is transaction
+atomic and the crash-time ``durable_max_lsn`` always equals one of the
+snapshot keys (mtr records enter the log buffer atomically at commit;
+flushes move the whole buffer).
+
+This module deliberately lives in ``src`` (not ``tests``) so the sweep
+is usable as a library — from pytest, from a REPL while debugging a
+failing coordinate, or from future CI jobs sweeping larger workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.block import pool_bytes_needed
+from ..core.cxl_bufferpool import CxlBufferPool
+from ..core.memmgr import CxlMemoryManager
+from ..core.recovery import PolarRecv
+from ..db.constants import PAGE_SIZE
+from ..db.engine import Engine
+from ..db.record import Field, RecordCodec
+from ..hardware.cache import LineCacheModel
+from ..hardware.host import Cluster, Host
+from ..hardware.memory import AccessMeter, WindowedMemory
+from ..sim.core import Simulator
+from ..storage.pagestore import PageStore
+from ..storage.wal import RedoLog
+from .injector import FaultInjector, InjectedCrash
+
+__all__ = [
+    "CrashSweepError",
+    "SweepOutcome",
+    "SweepReport",
+    "sweep_workload_points",
+    "sweep_recovery_points",
+    "sweep_sharing_points",
+]
+
+SWEEP_CODEC = RecordCodec(
+    [Field("id", 8), Field("k", 4), Field("payload", 1500, "bytes")]
+)
+
+_BASE_ROWS = 100  # ~10 rows per leaf: tail inserts split leaves quickly
+_WORKLOAD_TXNS = 36
+_CHECKPOINT_EVERY = 9
+_N_BLOCKS = 22  # one free block at workload start, then eviction pressure
+_SCAN_CHUNK = 20  # chunked range scans keep pins below the block count
+
+
+class CrashSweepError(AssertionError):
+    """A sweep coordinate recovered the wrong state (or never crashed)."""
+
+
+@dataclass
+class SweepOutcome:
+    """Result of one crash-and-recover run at one coordinate."""
+
+    point: str
+    hit: int
+    crashed: bool
+    recovered_ok: bool
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed and self.recovered_ok
+
+
+@dataclass
+class SweepReport:
+    """All outcomes of one sweep plus the points it enumerated."""
+
+    scenario: str
+    outcomes: list[SweepOutcome] = field(default_factory=list)
+    distinct_points: list[str] = field(default_factory=list)
+
+    def failures(self) -> list[SweepOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def raise_for_failures(self) -> None:
+        bad = self.failures()
+        if bad:
+            lines = ", ".join(
+                f"{o.point}#{o.hit}: {o.detail or 'did not crash'}" for o in bad
+            )
+            raise CrashSweepError(
+                f"{self.scenario} sweep: {len(bad)} failing coordinate(s): {lines}"
+            )
+
+
+def _select_hits(
+    trace: list[tuple[str, int]], max_hits_per_point: int
+) -> list[tuple[str, int]]:
+    """Sample coordinates per point name: first, last, and (optionally)
+    middle hit — crash points inside loops fire hundreds of times and the
+    interesting states are the boundaries."""
+    totals: dict[str, int] = {}
+    for name, hit in trace:
+        totals[name] = max(totals.get(name, 0), hit)
+    coordinates: list[tuple[str, int]] = []
+    for name in sorted(totals):
+        total = totals[name]
+        picks = {1, total}
+        if max_hits_per_point >= 3:
+            picks.add((total + 1) // 2)
+        coordinates.extend((name, hit) for hit in sorted(picks))
+    return coordinates
+
+
+def _expected_at(snapshots: dict[int, dict], durable_lsn: int) -> dict:
+    """Committed state as of ``durable_lsn``: the snapshot at the largest
+    recorded LSN not exceeding it."""
+    eligible = [lsn for lsn in snapshots if lsn <= durable_lsn]
+    if not eligible:
+        raise CrashSweepError(
+            f"no oracle snapshot at or below durable LSN {durable_lsn}"
+        )
+    return snapshots[max(eligible)]
+
+
+# ---------------------------------------------------------------------------
+# Single-node scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Scenario:
+    """One PolarCXLMem engine plus the plumbing recovery needs."""
+
+    sim: Simulator
+    cluster: Cluster
+    host: Host
+    engine: Engine
+    store: PageStore
+    redo: RedoLog
+    manager: CxlMemoryManager
+    extent: object
+    n_blocks: int
+
+
+@dataclass
+class _GoldenRun:
+    trace: list[tuple[str, int]]
+    snapshots: dict[int, dict]
+    model: dict
+
+
+def _row(key: int) -> dict:
+    return {"id": key, "k": key % 97, "payload": bytes([key % 251]) * 1500}
+
+
+def _build_scenario(seed: int, n_blocks: int = _N_BLOCKS) -> _Scenario:
+    sim = Simulator()
+    cluster = Cluster(sim)
+    host = cluster.add_host("h0")
+    meter = AccessMeter()
+    store = PageStore(PAGE_SIZE, meter)
+    redo = RedoLog(meter)
+    assert cluster.fabric is not None
+    manager = CxlMemoryManager(
+        cluster.fabric, pool_bytes_needed(n_blocks) + (4 << 21)
+    )
+    extent = manager.allocate(f"sweep{seed}", pool_bytes_needed(n_blocks), meter)
+    mapped = host.map_cxl(manager.region, meter, LineCacheModel())
+    mem = WindowedMemory(mapped, extent.offset, extent.size)
+    pool = CxlBufferPool(mem, store, n_blocks, lru_move_period=1)
+    engine = Engine("sweep", pool, store, redo, meter)
+    engine.initialize()
+    return _Scenario(
+        sim, cluster, host, engine, store, redo, manager, extent, n_blocks
+    )
+
+
+def _setup_baseline(scenario: _Scenario) -> dict:
+    """Uninjected setup: table, baseline rows, durable checkpoint.
+
+    Runs *before* the injector is installed so crash-point hit counts
+    start at the workload — (point, hit) coordinates stay stable whether
+    or not setup internals change."""
+    table = scenario.engine.create_table("t", SWEEP_CODEC)
+    model: dict[int, int] = {}
+    for key in range(1, _BASE_ROWS + 1):
+        mtr = scenario.engine.mtr()
+        table.insert(mtr, key, _row(key))
+        mtr.commit()
+        model[key] = key % 97
+    scenario.engine.redo_log.flush()
+    scenario.engine.checkpoint()
+    return model
+
+
+def _run_workload(
+    scenario: _Scenario,
+    model: dict,
+    snapshots: dict[int, dict],
+    rng: random.Random,
+) -> dict:
+    """The canonical seeded workload: single-mtr insert/update/delete
+    transactions with periodic checkpoints, snapshotting committed state
+    after every commit."""
+    engine = scenario.engine
+    table = engine.tables["t"]
+    snapshots[scenario.redo.durable_max_lsn] = dict(model)
+    next_key = _BASE_ROWS + 1
+    for i in range(_WORKLOAD_TXNS):
+        txn = engine.begin()
+        mtr = txn.mtr()
+        op = rng.choice(("insert", "insert", "update", "update", "delete"))
+        if op == "insert":
+            key = next_key
+            next_key += 1
+            table.insert(mtr, key, _row(key))
+            model[key] = key % 97
+        elif op == "update":
+            key = rng.choice(sorted(model))
+            value = (key + i) % 97
+            if table.update_field(mtr, key, "k", value):
+                model[key] = value
+        else:
+            key = rng.choice(sorted(model))
+            if table.delete(mtr, key):
+                model.pop(key)
+        mtr.commit()
+        txn.commit()
+        snapshots[scenario.redo.durable_max_lsn] = dict(model)
+        if (i + 1) % _CHECKPOINT_EVERY == 0:
+            engine.checkpoint()
+    return model
+
+
+def _read_contents(engine: Engine) -> dict:
+    """``{key: k}`` for every row, via chunked range scans (each chunk is
+    its own mtr, so pins never exceed the small pool)."""
+    table = engine.tables["t"]
+    contents: dict[int, int] = {}
+    start = 0
+    while True:
+        mtr = engine.mtr()
+        rows = table.range(mtr, start, _SCAN_CHUNK)
+        mtr.commit()
+        if not rows:
+            return contents
+        for row in rows:
+            contents[row["id"]] = row["k"]
+        start = rows[-1]["id"] + 1
+
+
+def _recover(scenario: _Scenario) -> Engine:
+    """The documented recovery path: fresh meter and line cache, remap
+    the surviving extent, PolarRecv, re-declare the schema."""
+    meter = AccessMeter()
+    scenario.store.attach_meter(meter)
+    scenario.redo.attach_meter(meter)
+    mapped = scenario.host.map_cxl(
+        scenario.manager.region, meter, LineCacheModel()
+    )
+    mem = WindowedMemory(mapped, scenario.extent.offset, scenario.extent.size)
+    pool, _stats = PolarRecv(
+        mem, scenario.store, scenario.redo, scenario.n_blocks
+    ).recover()
+    engine = Engine("recovered", pool, scenario.store, scenario.redo, meter)
+    engine.adopt_schema([("t", SWEEP_CODEC)])
+    return engine
+
+
+def _golden_run(seed: int) -> _GoldenRun:
+    scenario = _build_scenario(seed)
+    model = _setup_baseline(scenario)
+    snapshots: dict[int, dict] = {}
+    injector = FaultInjector(seed=seed)
+    with injector:
+        model = _run_workload(scenario, model, snapshots, random.Random(seed))
+    if _read_contents(scenario.engine) != model:
+        raise CrashSweepError("golden run is internally inconsistent")
+    return _GoldenRun(list(injector.trace), snapshots, model)
+
+
+def _crash_and_recover(
+    seed: int, point: str, hit: int, golden: _GoldenRun
+) -> SweepOutcome:
+    scenario = _build_scenario(seed)
+    model = _setup_baseline(scenario)
+    injector = FaultInjector(seed=seed).arm(point, hit)
+    crashed = False
+    try:
+        with injector:
+            _run_workload(scenario, model, {}, random.Random(seed))
+    except InjectedCrash:
+        crashed = True
+    if not crashed:
+        return SweepOutcome(point, hit, False, False, "armed point never fired")
+    scenario.engine.crash()
+    scenario.host.crash()
+    scenario.host.restart()
+    engine = _recover(scenario)
+    expected = _expected_at(golden.snapshots, scenario.redo.durable_max_lsn)
+    actual = _read_contents(engine)
+    if actual == expected:
+        return SweepOutcome(point, hit, True, True)
+    return SweepOutcome(
+        point,
+        hit,
+        True,
+        False,
+        f"recovered {len(actual)} rows != committed {len(expected)} "
+        f"(durable LSN {scenario.redo.durable_max_lsn})",
+    )
+
+
+def sweep_workload_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepReport:
+    """Crash the single-node engine at every reached point; verify
+    PolarRecv restores exactly the committed state each time."""
+    golden = _golden_run(seed)
+    report = SweepReport(
+        "single-node", distinct_points=sorted({name for name, _ in golden.trace})
+    )
+    for point, hit in _select_hits(golden.trace, max_hits_per_point):
+        report.outcomes.append(_crash_and_recover(seed, point, hit, golden))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Recovery re-entrancy
+# ---------------------------------------------------------------------------
+
+# Crashing at the last applied-but-unlogged page write guarantees blocks
+# with persisted lock state, so recovery exercises its rebuild path.
+_REENTRY_FIRST_POINT = "mtr.write.applied"
+
+
+def _crashed_scenario(seed: int, first_hit: int) -> _Scenario:
+    """Build, run, and crash the canonical workload at the fixed first-
+    crash coordinate; returns the powered-cycled scenario."""
+    scenario = _build_scenario(seed)
+    model = _setup_baseline(scenario)
+    injector = FaultInjector(seed=seed).arm(_REENTRY_FIRST_POINT, first_hit)
+    crashed = False
+    try:
+        with injector:
+            _run_workload(scenario, model, {}, random.Random(seed))
+    except InjectedCrash:
+        crashed = True
+    if not crashed:
+        raise CrashSweepError("re-entrancy sweep: first crash never fired")
+    scenario.engine.crash()
+    scenario.host.crash()
+    scenario.host.restart()
+    return scenario
+
+
+def sweep_recovery_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepReport:
+    """Crash PolarRecv at each of its own points, power-cycle, recover
+    again — a half-finished recovery must itself be recoverable."""
+    golden = _golden_run(seed)
+    first_hit = max(
+        (h for name, h in golden.trace if name == _REENTRY_FIRST_POINT), default=0
+    )
+    if first_hit == 0:
+        raise CrashSweepError(
+            f"canonical workload never reached {_REENTRY_FIRST_POINT!r}"
+        )
+
+    # Golden recovery: enumerate recovery's own crash points and pin the
+    # expected state down once.
+    scenario = _crashed_scenario(seed, first_hit)
+    recovery_injector = FaultInjector(seed=seed)
+    with recovery_injector:
+        engine = _recover(scenario)
+    expected = _expected_at(golden.snapshots, scenario.redo.durable_max_lsn)
+    if _read_contents(engine) != expected:
+        raise CrashSweepError("re-entrancy sweep: golden recovery inconsistent")
+    recovery_trace = list(recovery_injector.trace)
+
+    report = SweepReport(
+        "recovery-reentrancy",
+        distinct_points=sorted({name for name, _ in recovery_trace}),
+    )
+    for point, hit in _select_hits(recovery_trace, max_hits_per_point):
+        scenario = _crashed_scenario(seed, first_hit)
+        injector = FaultInjector(seed=seed).arm(point, hit)
+        crashed = False
+        try:
+            with injector:
+                _recover(scenario)
+        except InjectedCrash:
+            crashed = True
+        if not crashed:
+            report.outcomes.append(
+                SweepOutcome(point, hit, False, False, "armed point never fired")
+            )
+            continue
+        # Recovery itself died: power-cycle again, recover from scratch.
+        scenario.host.crash()
+        scenario.host.restart()
+        engine = _recover(scenario)
+        ok = _read_contents(engine) == expected
+        report.outcomes.append(
+            SweepOutcome(
+                point, hit, True, ok, "" if ok else "second recovery diverged"
+            )
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Multi-primary sharing failover
+# ---------------------------------------------------------------------------
+
+_SHARED_TABLE = "sbtest_shared"
+_SHARED_KEYS = (5, 17, 33, 49)  # all on the first leaf
+# A key on a leaf nobody touches during the warm-up, so its first-ever
+# DBP load (``fusion.request.loaded``) happens inside the injected phase.
+_FRESH_KEY = 190
+_SHARED_ROWS = 200  # ~3 leaves of sysbench rows
+_SHARING_ROUNDS = 3
+
+
+def _sharing_ops() -> list[tuple]:
+    """Interleaved writer (node 0) updates and reader (node 1) selects on
+    the shared table."""
+    ops: list[tuple] = []
+    value = 100
+    for round_no in range(_SHARING_ROUNDS):
+        for key in _SHARED_KEYS:
+            value += 1
+            ops.append(("update", 0, key, value))
+            ops.append(("select", 1, key))
+        if round_no == 0:
+            value += 1
+            ops.append(("update", 0, _FRESH_KEY, value))
+            ops.append(("select", 1, _FRESH_KEY))
+    return ops
+
+
+def _build_sharing(seed: int):
+    from ..bench.harness import build_sharing_setup
+    from ..workloads.sysbench import SysbenchWorkload
+
+    workload = SysbenchWorkload(rows=_SHARED_ROWS, n_nodes=2)
+    return build_sharing_setup("cxl", 2, workload, seed=seed)
+
+
+def _sharing_prephase(setup) -> dict:
+    """Uninjected warm-up: the reader touches every sweep key (registers
+    the pages with the fusion server) and records the loaded values."""
+    reader = setup.nodes[1]
+    model: dict[int, int] = {}
+    for key in _SHARED_KEYS:
+        row = setup.sim.run_process(reader.point_select(_SHARED_TABLE, key))
+        if row is None:
+            raise CrashSweepError(f"shared key {key} missing after load")
+        model[key] = row["k"]
+    return model
+
+
+def _run_sharing_ops(
+    setup, ops: list[tuple], model: dict, snapshots: dict[int, dict],
+    executing: list,
+) -> None:
+    writer_redo = setup.nodes[0].engine.redo_log
+    snapshots[writer_redo.durable_max_lsn] = dict(model)
+    for op in ops:
+        executing[0] = op[1]
+        node = setup.nodes[op[1]]
+        if op[0] == "update":
+            _, _, key, value = op
+            setup.sim.run_process(node.point_update(_SHARED_TABLE, key, "k", value))
+            model[key] = value
+            snapshots[writer_redo.durable_max_lsn] = dict(model)
+        else:
+            setup.sim.run_process(node.point_select(_SHARED_TABLE, op[2]))
+
+
+def _sharing_golden(seed: int) -> _GoldenRun:
+    setup = _build_sharing(seed)
+    model = _sharing_prephase(setup)
+    snapshots: dict[int, dict] = {}
+    injector = FaultInjector(seed=seed)
+    with injector:
+        _run_sharing_ops(setup, _sharing_ops(), model, snapshots, [0])
+    reader = setup.nodes[1]
+    for key in _SHARED_KEYS:
+        row = setup.sim.run_process(reader.point_select(_SHARED_TABLE, key))
+        if row is None or row["k"] != model[key]:
+            raise CrashSweepError("sharing golden run inconsistent")
+    return _GoldenRun(list(injector.trace), snapshots, model)
+
+
+def _sharing_crash_and_failover(
+    seed: int, point: str, hit: int, golden: _GoldenRun
+) -> SweepOutcome:
+    setup = _build_sharing(seed)
+    model = _sharing_prephase(setup)
+    injector = FaultInjector(seed=seed).arm(point, hit)
+    executing = [0]
+    crashed = False
+    try:
+        with injector:
+            _run_sharing_ops(setup, _sharing_ops(), model, {}, executing)
+    except InjectedCrash:
+        crashed = True
+    if not crashed:
+        return SweepOutcome(point, hit, False, False, "armed point never fired")
+
+    dead = setup.nodes[executing[0]]
+    survivor = setup.nodes[1 - executing[0]]
+    # The dead node's host loses power: its CPU cache (with any dirty,
+    # never-flushed lines) dies with it; its volatile log buffer is gone.
+    dead.engine.crash()
+    setup.hosts[executing[0]].crash()
+    assert setup.fusion is not None
+    setup.fusion.recover_node_failure(
+        dead.node_id,
+        dead.engine.redo_log,
+        AccessMeter(),
+        lock_service=setup.lock_service,
+        write_locked_pages=sorted(dead.write_locks_held),
+        read_locked_pages=sorted(dead.read_locks_held),
+    )
+
+    # Committed state: whatever the *writer's* durable log contains. The
+    # oracle only knows keys it observed or wrote, so verify exactly those.
+    durable = setup.nodes[0].engine.redo_log.durable_max_lsn
+    expected = _expected_at(golden.snapshots, durable)
+    for key in sorted(expected):
+        row = setup.sim.run_process(survivor.point_select(_SHARED_TABLE, key))
+        got = None if row is None else row["k"]
+        if got != expected[key]:
+            return SweepOutcome(
+                point,
+                hit,
+                True,
+                False,
+                f"survivor read key {key}: {got} != committed {expected[key]}",
+            )
+    if survivor is setup.nodes[0]:
+        # The writer survived a reader crash: prove its write path still
+        # works (if failover leaked the dead reader's lock, lock_write
+        # would never be granted and the simulator reports a deadlock).
+        probe_key = _SHARED_KEYS[0]
+        setup.sim.run_process(
+            survivor.point_update(_SHARED_TABLE, probe_key, "k", 7777)
+        )
+        row = setup.sim.run_process(
+            survivor.point_select(_SHARED_TABLE, probe_key)
+        )
+        if row is None or row["k"] != 7777:
+            return SweepOutcome(
+                point, hit, True, False, "post-failover write not visible"
+            )
+    return SweepOutcome(point, hit, True, True)
+
+
+def sweep_sharing_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepReport:
+    """Crash either sharing node anywhere in the protocol; fusion
+    failover must leave the survivor seeing exactly the committed state
+    and the distributed locks serviceable."""
+    golden = _sharing_golden(seed)
+    report = SweepReport(
+        "sharing-failover",
+        distinct_points=sorted({name for name, _ in golden.trace}),
+    )
+    for point, hit in _select_hits(golden.trace, max_hits_per_point):
+        report.outcomes.append(
+            _sharing_crash_and_failover(seed, point, hit, golden)
+        )
+    return report

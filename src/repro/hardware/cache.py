@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..faults.injector import crash_point
 from ..sim.latency import CACHE_LINE
 from .memory import AccessMeter, LineCacheProtocol, MemoryRegion
 
@@ -142,6 +143,11 @@ class CpuCache:
         """
         written = 0
         for line, _, _ in _line_spans(offset, nbytes):
+            # Crash between line flushes: lines already flushed are in
+            # the backing region, the rest die dirty in this cache — a
+            # torn line-set flush, the hazard the per-line write-release
+            # protocol (§3.3) must tolerate.
+            crash_point("cache.clflush.line")
             entry = self._lines.pop((region.name, line), None)
             if entry is None:
                 continue

@@ -95,6 +95,7 @@ class Host:
             sim, self.config.client_network_bandwidth, name=f"{name}.client"
         )
         self.dram_regions: list[MemoryRegion] = []
+        self.caches: list = []  # CPU caches whose contents die with the host
         self._dram_counter = 0
         self.pipes: dict[str, list[Pipe]] = {
             "storage": [self.storage_pipe],
@@ -125,6 +126,7 @@ class Host:
         line_cache: LineCacheModel,
         remote_numa: bool = False,
     ) -> MappedMemory:
+        self.register_cache(line_cache)
         return MappedMemory(
             region,
             dram_timing(self.config, remote_numa),
@@ -141,6 +143,7 @@ class Host:
         remote_numa: bool = False,
         through_switch: bool = True,
     ) -> MappedMemory:
+        self.register_cache(line_cache)
         return MappedMemory(
             region,
             cxl_timing(self.config, remote_numa, through_switch),
@@ -149,15 +152,31 @@ class Host:
             counter_key="cxl",
         )
 
+    def register_cache(self, cache) -> None:
+        """Track a CPU cache (timing or functional) living on this host.
+
+        SRAM does not survive power loss: :meth:`crash` must drop every
+        cached line, or a restarted host would warm-hit lines it never
+        re-fetched — and a functional :class:`~repro.hardware.cache.CpuCache`
+        would resurrect dirty data that was never written back.
+        """
+        if all(cache is not existing for existing in self.caches):
+            self.caches.append(cache)
+
     # -- fault injection -----------------------------------------------------------
 
     def crash(self) -> None:
-        """Power-fail the host: every DRAM region is poisoned."""
+        """Power-fail the host: DRAM poisoned, every CPU cache dropped."""
         for region in self.dram_regions:
             region.power_fail()
+        for cache in self.caches:
+            if hasattr(cache, "drop_all"):
+                cache.drop_all()  # functional: dirty lines die unwritten
+            else:
+                cache.clear()  # timing-only: no warm hits after restart
 
     def restart(self) -> None:
-        """Bring the host back with zeroed DRAM."""
+        """Bring the host back with zeroed DRAM and cold caches."""
         for region in self.dram_regions:
             region.power_restore()
 

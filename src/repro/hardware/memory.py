@@ -51,7 +51,8 @@ class MemoryRegion:
     def read(self, offset: int, nbytes: int) -> bytes:
         if self._poisoned:
             raise PoisonedMemoryError(
-                f"region {self.name!r} lost its contents in a power failure"
+                f"region {self.name!r} lost its contents in a power failure; "
+                "call power_restore() before reuse"
             )
         self._check(offset, nbytes)
         return bytes(self._data[offset : offset + nbytes])
@@ -59,18 +60,29 @@ class MemoryRegion:
     def write(self, offset: int, data: bytes) -> None:
         if self._poisoned:
             raise PoisonedMemoryError(
-                f"region {self.name!r} lost its contents in a power failure"
+                f"region {self.name!r} lost its contents in a power failure; "
+                "call power_restore() before reuse"
             )
         self._check(offset, len(data))
         self._data[offset : offset + len(data)] = data
 
     def power_fail(self) -> None:
-        """Simulate power loss. Volatile regions are poisoned until reset."""
+        """Simulate power loss. Volatile regions are poisoned until restored.
+
+        Idempotent: failing an already-failed region (cascading faults in
+        a sweep) is a no-op, as is failing a non-volatile region — CXL
+        boxes have their own PSUs (§3.2), so host power events never
+        touch them.
+        """
         if self.volatile:
             self._poisoned = True
 
     def power_restore(self) -> None:
-        """Bring a failed region back: fresh, zeroed, contents gone."""
+        """Bring a failed region back: fresh, zeroed, contents gone.
+
+        Idempotent: restoring a healthy region keeps its contents —
+        only a poisoned region is re-zeroed.
+        """
         if self._poisoned:
             self._data = bytearray(self.size)
             self._poisoned = False

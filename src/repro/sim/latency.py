@@ -67,6 +67,12 @@ class LatencyConfig:
     # RPC latencies.
     rpc_base_ns: float = 15_000.0  # control-plane RPC (allocation etc.)
     lock_rpc_ns: float = 4_000.0  # distributed page-lock service round trip
+    # Node-side handling of an unresponsive fusion server: a request is
+    # declared lost after the timeout, then retried with exponential
+    # backoff (base doubles per attempt) up to ``rpc_max_retries``.
+    rpc_timeout_ns: float = 1_000_000.0
+    rpc_retry_backoff_ns: float = 500_000.0
+    rpc_max_retries: int = 3
     # A thread that blocks on a contended page lock sleeps and must be
     # rescheduled — the context-switch overhead §4.4 blames for the
     # throughput collapse at high shared-data percentages.

@@ -143,6 +143,10 @@ class RWLock:
     def held(self) -> bool:
         return self._writer or self._readers > 0
 
+    @property
+    def write_held(self) -> bool:
+        return self._writer
+
     def read_would_block(self) -> bool:
         return self._writer or bool(self._waiters)
 
@@ -180,6 +184,25 @@ class RWLock:
             raise SimError(f"rwlock {self.name!r}: release_write not held")
         self._writer = False
         self._drain()
+
+    # -- failover ------------------------------------------------------------
+
+    def force_release_write(self) -> None:
+        """Release a write lock whose holder died; no-op if not write-held.
+
+        Used by fusion-server failover: a crashed node can never run its
+        unlock path, so the lock service breaks the lock on its behalf
+        (after the page is rebuilt — never before).
+        """
+        if self._writer:
+            self._writer = False
+            self._drain()
+
+    def force_release_read(self) -> None:
+        """Drop one reader that died; no-op when there are no readers."""
+        if self._readers > 0:
+            self._readers -= 1
+            self._drain()
 
     def _drain(self) -> None:
         if self._writer:

@@ -5,16 +5,28 @@ and written at page granularity over the storage network. Contents are
 durable — they survive any host crash. Latency and bandwidth charges go
 through the engine's :class:`~repro.hardware.memory.AccessMeter` against
 the host's ``storage`` pipe.
+
+Durability is *not* atomicity: a crash in the middle of
+:meth:`PageStore.write_page` leaves a **torn page** — a prefix of
+512-byte sectors from the new image over the remainder of the old one,
+exactly the partial-write hazard real storage devices expose. The fault
+injector's ``pagestore.write_page`` crash point drives this, so recovery
+gets exercised against genuinely torn bytes rather than an all-or-
+nothing model.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Iterator, Optional
 
+from ..faults.injector import active as fault_injector
 from ..hardware.memory import AccessMeter
 from ..sim.latency import LatencyConfig
 
-__all__ = ["PageStore"]
+__all__ = ["PageStore", "SECTOR_SIZE"]
+
+SECTOR_SIZE = 512
 
 
 class PageStore:
@@ -32,6 +44,7 @@ class PageStore:
         self._pages: dict[int, bytes] = {}
         self.reads = 0
         self.writes = 0
+        self.torn_writes = 0
 
     def attach_meter(self, meter: AccessMeter) -> None:
         """Re-bind the meter (a restarted engine brings a fresh one)."""
@@ -59,12 +72,31 @@ class PageStore:
             raise ValueError(
                 f"page image is {len(image)} bytes, expected {self.page_size}"
             )
+        injector = fault_injector()
+        if injector is not None:
+            injector.point(
+                "pagestore.write_page",
+                torn=lambda rng: self._tear_write(page_id, bytes(image), rng),
+            )
         self._pages[page_id] = bytes(image)
         self.writes += 1
         if self.meter is not None:
             self.meter.charge_transfer(
                 "storage", self.page_size, base_ns=self.config.storage_write_base_ns
             )
+
+    def _tear_write(self, page_id: int, image: bytes, rng: random.Random) -> None:
+        """Crash mid-write: persist a sector-granular prefix of ``image``.
+
+        The tail keeps the previous durable contents (zeros when the
+        page never existed — sectors the device had not yet written).
+        """
+        n_sectors = self.page_size // SECTOR_SIZE
+        done = rng.randrange(0, n_sectors)  # how many sectors landed
+        old = self._pages.get(page_id, b"\x00" * self.page_size)
+        cut = done * SECTOR_SIZE
+        self._pages[page_id] = image[:cut] + old[cut:]
+        self.torn_writes += 1
 
     def read_page_unmetered(self, page_id: int) -> bytes:
         """Functional read without charges (test/inspection helper)."""

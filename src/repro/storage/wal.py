@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..faults.injector import crash_point
 from ..hardware.memory import AccessMeter
 from ..sim.latency import LatencyConfig
 
@@ -71,6 +72,7 @@ class RedoLog:
         lsn = self._next_lsn
         self._next_lsn += 1
         self._buffer.append(RedoRecord(lsn, page_id, offset, bytes(data)))
+        crash_point("wal.append")
         if self.meter is not None:
             self.meter.count("redo_records")
         return lsn
@@ -78,11 +80,15 @@ class RedoLog:
     def flush(self) -> int:
         """Force the buffer to the durable log; returns durable max LSN."""
         if self._buffer:
+            # A crash here loses the whole buffer (it is host DRAM).
+            crash_point("wal.flush.begin")
             nbytes = sum(record.size_bytes for record in self._buffer)
             self._durable.extend(self._buffer)
             self._buffer = []
             self.flushes += 1
             self.bytes_flushed += nbytes
+            # A crash here keeps the records: they reached the log device.
+            crash_point("wal.flush.durable")
             if self.meter is not None:
                 self.meter.charge_transfer(
                     "wal", nbytes, base_ns=self.config.wal_write_base_ns
@@ -118,6 +124,17 @@ class RedoLog:
     def recover_lsn_counter(self) -> None:
         """After a crash, new LSNs restart just past the durable maximum."""
         self._next_lsn = self.durable_max_lsn + 1
+
+    def align_lsn(self, floor: int) -> None:
+        """Ensure future LSNs exceed ``floor``.
+
+        Multi-primary nodes open a dataset whose pages carry LSNs stamped
+        by whoever loaded it. LSN-guarded redo (and the page-LSN stamping
+        in mtr commit) only works if this log's LSNs sort *after* those,
+        so a node aligns its counter past the loader's on attach — the
+        per-node slice of a shared LSN space.
+        """
+        self._next_lsn = max(self._next_lsn, floor + 1)
 
     def records_since(self, lsn_exclusive: int) -> list[RedoRecord]:
         """Durable records with LSN strictly greater than ``lsn_exclusive``.

@@ -10,7 +10,7 @@ from repro.db.bufferpool import BufferPoolFullError
 from repro.db.constants import PAGE_SIZE, PT_LEAF
 from repro.db.page import format_empty_page
 from repro.hardware.cache import LineCacheModel
-from repro.hardware.memory import AccessMeter, MemoryRegion
+from repro.hardware.memory import AccessMeter
 from repro.storage.pagestore import PageStore
 
 

@@ -1,6 +1,5 @@
 """The CLI experiment registry and recovery-experiment plumbing."""
 
-import pathlib
 
 import pytest
 

@@ -7,7 +7,7 @@ deterministic: fixed seeds, fixed sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import pytest

@@ -7,7 +7,7 @@ from repro.core.cxl_bufferpool import CxlBufferPool
 from repro.db.bufferpool import BufferPoolFullError
 from repro.db.constants import PT_LEAF
 
-from ..conftest import SMALL_CODEC, fill_table, make_cxl_engine, row_for
+from ..conftest import fill_table, make_cxl_engine
 
 
 @pytest.fixture
@@ -55,7 +55,7 @@ class TestFormatAndAttach:
 
 class TestMetadataPersistence:
     def test_page_id_recorded_in_block(self, ctx):
-        table = fill_table(ctx, rows=40)
+        fill_table(ctx, rows=40)
         pool = ctx.pool
         for page_id in pool.resident_page_ids():
             index = pool.block_index_of(page_id)
@@ -96,9 +96,9 @@ class TestMetadataPersistence:
 class TestCxlLru:
     def test_lru_order_tracks_usage(self, ctx):
         pool = ctx.pool
-        a = pool.new_page(100, PT_LEAF)
+        pool.new_page(100, PT_LEAF)
         pool.unpin(100)
-        b = pool.new_page(101, PT_LEAF)
+        pool.new_page(101, PT_LEAF)
         pool.unpin(101)
         # 101 is most recent -> at the head.
         head = pool.lru_order()[0]

@@ -5,7 +5,6 @@ what PolarRecv trusts after a crash; these tests drive them with random
 operation sequences against in-Python models.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

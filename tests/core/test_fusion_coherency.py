@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.coherency import FLAG_BYTES_PER_ENTRY, FlagSlab, set_remote_flag
+from repro.core.coherency import FlagSlab, set_remote_flag
 from repro.core.fusion import BufferFusionServer, PageLockService
 from repro.db.constants import PAGE_SIZE, PT_LEAF
 from repro.db.page import format_empty_page

@@ -5,7 +5,6 @@ import pytest
 from repro.core.block import (
     BLOCK_META_SIZE,
     BLOCK_NIL,
-    BLOCK_NO_PAGE,
     BLOCK_SIZE,
     BlockMeta,
     POOL_HEADER_SIZE,

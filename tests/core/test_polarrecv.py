@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.cxl_bufferpool import CxlBufferPool
 from repro.core.recovery import PolarRecv, apply_redo_to_image
 from repro.db.constants import PAGE_SIZE, PT_LEAF
 from repro.db.engine import Engine
@@ -186,7 +185,7 @@ class TestLruRecovery:
 class TestDiscardedBlocks:
     def test_never_durable_page_discarded(self, cluster, host):
         ctx = make_cxl_engine(cluster, host, n_blocks=64, name="disc")
-        table = fill_table(ctx, rows=50)
+        fill_table(ctx, rows=50)
         ctx.engine.checkpoint()
         # Create a page wholly after the checkpoint, never flush its mtr.
         mtr = ctx.engine.mtr()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.harness import build_sharing_setup
-from repro.core.coherency import FLAG_BYTES_PER_ENTRY, FlagSlab
+from repro.core.coherency import FlagSlab
 from repro.core.fusion import BufferFusionServer
 from repro.core.sharing import SharedCxlBufferPool
 from repro.db.constants import PAGE_SIZE, PT_LEAF

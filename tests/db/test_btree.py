@@ -4,7 +4,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.db.btree import BTreeCorruptionError, DuplicateKeyError
+from repro.db.btree import DuplicateKeyError
 from repro.db.record import Field, RecordCodec
 
 from ..conftest import SMALL_CODEC, fill_table, make_local_engine, row_for

@@ -1,7 +1,6 @@
 """Merge SMOs: leaf merges, cascading internal merges, root collapse,
 freed-page reuse, and crash-mid-merge recovery."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -9,11 +8,10 @@ from repro.db.constants import (
     META_OFF_FREE_PAGE_HEAD,
     META_PAGE_ID,
     PT_FREE,
-    PT_LEAF,
 )
 from repro.db.record import Field, RecordCodec
 
-from ..conftest import SMALL_CODEC, fill_table, make_local_engine, row_for
+from ..conftest import make_local_engine
 
 # Few records per leaf -> merges are easy to trigger.
 WIDE = RecordCodec([Field("id", 8), Field("pad", 2000, "bytes")])

@@ -1,17 +1,16 @@
 """engine_report: the SHOW-ENGINE-STATUS equivalent."""
 
-import pytest
 
 from repro.db.introspect import engine_report
 from repro.db.record import Field, RecordCodec
 
-from ..conftest import SMALL_CODEC, fill_table, make_cxl_engine, make_local_engine
+from ..conftest import fill_table, make_cxl_engine, make_local_engine
 
 
 class TestEngineReport:
     def test_local_engine_sections(self, host):
         ctx = make_local_engine(host)
-        table = fill_table(ctx, rows=100)
+        fill_table(ctx, rows=100)
         report = engine_report(ctx.engine)
         assert report["name"] == "local"
         assert not report["crashed"]

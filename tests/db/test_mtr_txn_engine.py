@@ -58,7 +58,7 @@ class TestMiniTransaction:
 
     def test_write_latch_tracked_until_commit(self, ctx):
         mtr = ctx.engine.mtr()
-        view = mtr.get_page(META_PAGE_ID, for_write=True)
+        mtr.get_page(META_PAGE_ID, for_write=True)
         assert META_PAGE_ID in ctx.engine.latched_pages
         mtr.commit()
         assert META_PAGE_ID not in ctx.engine.latched_pages
@@ -154,7 +154,7 @@ class TestEngine:
         mtr.commit()
 
     def test_checkpoint_flushes_and_prunes(self, ctx):
-        table = fill_table(ctx, rows=50)
+        fill_table(ctx, rows=50)
         assert len(ctx.redo.records_since(0)) > 0
         ctx.engine.checkpoint()
         assert ctx.redo.records_since(ctx.redo.checkpoint_lsn) == []

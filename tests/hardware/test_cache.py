@@ -115,7 +115,6 @@ class TestCpuCacheFunctional:
         assert data[12:64] == bytes(range(12, 64))
 
     def test_write_spanning_lines(self, region, cpu_cache):
-        payload = bytes(range(130 % 256)) + b"xy"
         cpu_cache.write(region, 60, b"A" * 130)
         assert cpu_cache.read(region, 60, 130) == b"A" * 130
         cpu_cache.clflush(region, 60, 130)

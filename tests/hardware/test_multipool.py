@@ -1,6 +1,5 @@
 """Multi-pool deployments (paper Fig. 5: two switch-backed pools)."""
 
-import pytest
 
 from repro.core.memmgr import CxlMemoryManager
 from repro.hardware.host import Cluster

@@ -1,0 +1,107 @@
+"""Crash-anywhere recovery sweep (tier-1 robustness gate).
+
+Enumerates every crash point the canonical workloads reach, then crashes
+at each one and asserts recovery restores exactly the committed state.
+See ``repro.faults.sweep`` for the harness; these tests pin down the
+acceptance bar: ≥25 distinct crash points across the mtr / WAL / flush /
+LRU / clflush / fusion / recovery paths, every coordinate recovering
+exactly, deterministically under a fixed seed.
+"""
+
+import pytest
+
+from repro.faults.sweep import (
+    _golden_run,
+    sweep_recovery_points,
+    sweep_sharing_points,
+    sweep_workload_points,
+)
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def workload_report():
+    return sweep_workload_points(seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def recovery_report():
+    return sweep_recovery_points(seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def sharing_report():
+    return sweep_sharing_points(seed=SEED)
+
+
+class TestSingleNodeSweep:
+    def test_every_coordinate_recovers_exact_committed_state(
+        self, workload_report
+    ):
+        workload_report.raise_for_failures()
+        assert workload_report.outcomes, "sweep ran no coordinates"
+
+    def test_covers_all_engine_subsystems(self, workload_report):
+        points = set(workload_report.distinct_points)
+        for prefix in ("mtr.", "wal.", "pool.", "pagestore."):
+            assert any(p.startswith(prefix) for p in points), (
+                f"no crash point under {prefix!r} reached: {sorted(points)}"
+            )
+        # Eviction, miss-reload, and free-claim must all be exercised —
+        # the workload is sized to overflow the pool on purpose.
+        assert {
+            "pool.evict.victim",
+            "pool.get.loaded",
+            "pool.claim.free",
+            "pool.new.formatted",
+        } <= points
+
+
+class TestRecoveryReentrancySweep:
+    def test_recovery_survives_crashing_itself_anywhere(self, recovery_report):
+        recovery_report.raise_for_failures()
+
+    def test_covers_all_recovery_phases(self, recovery_report):
+        assert {
+            "recovery.scan",
+            "recovery.rebuild.image",
+            "recovery.rebuild.marked",
+            "recovery.rebuild.done",
+            "recovery.lru",
+            "recovery.done",
+        } <= set(recovery_report.distinct_points)
+
+
+class TestSharingFailoverSweep:
+    def test_survivor_sees_exactly_committed_state(self, sharing_report):
+        sharing_report.raise_for_failures()
+
+    def test_covers_the_sharing_protocol(self, sharing_report):
+        points = set(sharing_report.distinct_points)
+        assert {
+            "node.update.logged",
+            "sharing.flush.lines",
+            "cache.clflush.line",
+            "fusion.release.dirty",
+            "fusion.request.loaded",
+        } <= points
+
+
+class TestSweepAcceptance:
+    def test_at_least_25_distinct_crash_points(
+        self, workload_report, recovery_report, sharing_report
+    ):
+        union = (
+            set(workload_report.distinct_points)
+            | set(recovery_report.distinct_points)
+            | set(sharing_report.distinct_points)
+        )
+        assert len(union) >= 25, sorted(union)
+
+    def test_golden_run_is_deterministic(self):
+        first = _golden_run(SEED)
+        second = _golden_run(SEED)
+        assert first.trace == second.trace
+        assert first.snapshots == second.snapshots
+        assert first.model == second.model

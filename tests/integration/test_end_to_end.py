@@ -13,7 +13,6 @@ from repro.workloads.driver import PoolingDriver, SharingDriver
 from repro.workloads.sysbench import SysbenchWorkload
 from repro.workloads.tatp import TatpWorkload
 from repro.workloads.tpcc import TpccWorkload
-from repro.sim.rng import WorkloadRng
 
 
 class TestPoolingEndToEnd:

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.cxl_bufferpool import CxlBufferPool
 from repro.core.recovery import PolarRecv
 from repro.bench.recovery_exp import run_recovery_experiment
+from repro.faults.injector import FaultInjector, InjectedCrash
 from repro.hardware.cache import CpuCache, LineCacheModel
 from repro.hardware.memory import AccessMeter, WindowedMemory
 
@@ -32,7 +32,7 @@ class TestCxlBoxFailure:
         from ..conftest import make_local_engine
 
         ctx = make_cxl_engine(cluster, host, n_blocks=64, name="boxfail2")
-        table = fill_table(ctx, rows=120)
+        fill_table(ctx, rows=120)
         ctx.engine.checkpoint()
         ctx.engine.crash()
         cluster.fabric.power_fail_pool()
@@ -88,6 +88,67 @@ class TestDoubleCrash:
         assert engine.tables["t"].get(mtr, 6)["k"] == 6 % 97
         engine.tables["t"].btree.verify(mtr)
         mtr.commit()
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            "recovery.scan",
+            "recovery.rebuild.image",
+            "recovery.rebuild.marked",
+            "recovery.rebuild.done",
+            "recovery.lru",
+            "recovery.done",
+        ],
+    )
+    def test_recovery_reentrant_at_every_internal_point(
+        self, cluster, host, point
+    ):
+        """PolarRecv is killed at each of its own crash points (including
+        a torn rebuild write); a full power cycle plus a second recovery
+        still converges to exactly the committed state."""
+        from repro.db.engine import Engine
+
+        ctx = make_cxl_engine(cluster, host, n_blocks=64, name="reentry")
+        table = fill_table(ctx, rows=100)
+        ctx.engine.checkpoint()
+        txn = ctx.engine.begin()
+        mtr = txn.mtr()
+        table.update_field(mtr, 5, "k", 42)
+        mtr.commit()
+        txn.commit()
+        mtr = ctx.engine.mtr()
+        table.update_field(mtr, 6, "k", 43)  # lost: never flushed
+        mtr.commit()
+        ctx.engine.crash()
+        host.crash()
+        host.restart()
+
+        meter = AccessMeter()
+        ctx.store.attach_meter(meter)
+        ctx.redo.attach_meter(meter)
+        mapped = host.map_cxl(ctx.manager.region, meter, LineCacheModel())
+        mem = WindowedMemory(mapped, ctx.extent.offset, ctx.extent.size)
+        with pytest.raises(InjectedCrash):
+            with FaultInjector().arm(point):
+                PolarRecv(mem, ctx.store, ctx.redo, ctx.n_blocks).recover()
+
+        # Recovery died; the host power-cycles again and retries.
+        host.crash()
+        host.restart()
+        meter = AccessMeter()
+        ctx.store.attach_meter(meter)
+        ctx.redo.attach_meter(meter)
+        mapped = host.map_cxl(ctx.manager.region, meter, LineCacheModel())
+        mem = WindowedMemory(mapped, ctx.extent.offset, ctx.extent.size)
+        pool, _stats = PolarRecv(mem, ctx.store, ctx.redo, ctx.n_blocks).recover()
+        engine = Engine("reentry2", pool, ctx.store, ctx.redo, meter)
+        engine.adopt_schema([("t", SMALL_CODEC)])
+        mtr = engine.mtr()
+        assert engine.tables["t"].get(mtr, 5)["k"] == 42
+        assert engine.tables["t"].get(mtr, 6)["k"] == 6 % 97
+        stats = engine.tables["t"].btree.verify(mtr)
+        mtr.commit()
+        assert stats["records"] == 100
 
 
 class TestSharingWithTinyCpuCache:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.core import Event, SimError, Simulator, Timeout, run_inline
+from repro.sim.core import Event, SimError, Timeout, run_inline
 
 
 class TestEvent:

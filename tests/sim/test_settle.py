@@ -75,7 +75,7 @@ class TestSettleSerial:
             for _ in range(10):
                 meter.charge_transfer("p", 64, base_ns=1000)
         settler_a = ChargeSettler(sim, meter_a, {"p": [pipe]})
-        serial_end = sim.run_process(settler_a.settle_serial()) or sim.now
+        sim.run_process(settler_a.settle_serial())
         assert sim.now >= 10_000
 
     def test_shared_pipe_contention_across_settlers(self, sim):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.db.constants import PAGE_SIZE
 from repro.hardware.memory import AccessMeter
-from repro.sim.latency import LatencyConfig
 from repro.storage.checkpoint import Checkpointer
 from repro.storage.pagestore import PageStore
 from repro.storage.wal import RedoLog, RedoRecord

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.rng import WorkloadRng
-from repro.workloads.base import Op, TxnStats
+from repro.workloads.base import TxnStats
 from repro.workloads.sysbench import SYSBENCH_MIXES, SysbenchWorkload
 
 from ..conftest import make_local_engine

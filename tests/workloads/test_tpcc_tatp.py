@@ -25,7 +25,6 @@ class TestTpccKeys:
                         keys.add(
                             ("ol", workload.order_line_key(w, d, slot, line))
                         )
-        values = [k for _, k in keys]
         # Within each table, keys are unique.
         per_table: dict[str, list[int]] = {}
         for table, key in keys:
@@ -121,7 +120,6 @@ class TestTpccTxns:
             for op in ops:
                 if op.table == "stock":
                     total += 1
-                    item = (op.key - 1) % workload.items
                     w = (op.key - 1) // workload.items
                     if w % 2 != 0:
                         remote += 1
