@@ -20,6 +20,7 @@ from ..hardware.memory import AccessMeter, MappedMemory, MemoryRegion
 from ..db.bufferpool import BufferPool, BufferPoolFullError, OffsetAccessor
 from ..db.constants import PAGE_SIZE
 from ..db.page import PageView, format_empty_page
+from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 from ..storage.pagestore import PageStore
 
@@ -64,6 +65,10 @@ class RemoteMemoryNode:
             "rdma", PAGE_SIZE, base_ns=self.config.rdma_read_ns(PAGE_SIZE)
         )
         meter.charge_transfer("rdma_ops", 1)
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("rdma.page_reads")
+            tracer.count("rdma.read_bytes", PAGE_SIZE)
         return self.region.read(slot * PAGE_SIZE, PAGE_SIZE)
 
     def write_page(
@@ -85,6 +90,10 @@ class RemoteMemoryNode:
             "rdma", PAGE_SIZE, base_ns=self.config.rdma_write_ns(PAGE_SIZE)
         )
         meter.charge_transfer("rdma_ops", 1)
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("rdma.page_writes")
+            tracer.count("rdma.write_bytes", PAGE_SIZE)
 
     def _claim_slot(self) -> int:
         if self._free:
@@ -147,20 +156,29 @@ class TieredRdmaBufferPool(BufferPool):
     # -- BufferPool interface -----------------------------------------------------------
 
     def get_page(self, page_id: int) -> PageView:
+        tracer = obs_active()
         frame = self._frame_of.get(page_id)
         if frame is None:
             self.misses += 1
+            if tracer is not None:
+                tracer.count("pool.rdma.misses")
             frame = self._claim_frame()
             if self.remote.has(page_id):
                 image = self.remote.read_page(page_id, self.meter)
                 self.remote_fetches += 1
+                if tracer is not None:
+                    tracer.count("pool.rdma.remote_fetches")
             else:
                 image = self.page_store.read_page(page_id)
                 self.storage_fetches += 1
+                if tracer is not None:
+                    tracer.count("pool.rdma.storage_fetches")
             self.mapped.write(frame * PAGE_SIZE, image)
             self._frame_of[page_id] = frame
         else:
             self.hits += 1
+            if tracer is not None:
+                tracer.count("pool.rdma.hits")
         self._touch(page_id)
         self._pins[page_id] = self._pins.get(page_id, 0) + 1
         return self._view(page_id, frame)
@@ -256,6 +274,9 @@ class TieredRdmaBufferPool(BufferPool):
         del self._frame_of[victim]
         del self._lru[victim]
         self.evictions += 1
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("pool.rdma.evictions")
         return frame
 
     @property

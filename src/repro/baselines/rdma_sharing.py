@@ -25,6 +25,7 @@ from ..db.bufferpool import BufferPool, BufferPoolFullError, OffsetAccessor
 from ..db.constants import PAGE_SIZE
 from ..db.page import PageView
 from ..hardware.memory import AccessMeter, MappedMemory, MemoryRegion
+from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 from ..storage.pagestore import PageStore
 
@@ -86,6 +87,10 @@ class RdmaDbpServer:
             "rdma", PAGE_SIZE, base_ns=self.config.rdma_read_ns(PAGE_SIZE)
         )
         meter.charge_transfer("rdma_ops", 1)
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("rdma.page_reads")
+            tracer.count("rdma.read_bytes", PAGE_SIZE)
         return self.region.read(slot * PAGE_SIZE, PAGE_SIZE)
 
     def write_page_on_release(
@@ -103,6 +108,11 @@ class RdmaDbpServer:
         )
         meter.charge_transfer("rdma_ops", 1)
         sent = 0
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("rdma.page_writes")
+            tracer.count("rdma.write_bytes", PAGE_SIZE)
+            tracer.emit("rdma", "flush_page", node=writer_node, page=page_id)
         for node_id, pool in self._active.get(page_id, {}).items():
             if node_id == writer_node:
                 continue
@@ -110,7 +120,17 @@ class RdmaDbpServer:
             meter.charge_ns(self.config.rdma_message_ns)
             meter.charge_transfer("rdma_ops", 1)
             sent += 1
+            if tracer is not None:
+                tracer.emit(
+                    "rdma",
+                    "invalidate_msg",
+                    page=page_id,
+                    writer=writer_node,
+                    target=node_id,
+                )
         self.invalidation_messages += sent
+        if tracer is not None and sent:
+            tracer.count("rdma.invalidation_messages", sent)
         return sent
 
     # -- maintenance ------------------------------------------------------------------------
@@ -186,9 +206,12 @@ class RdmaSharedBufferPool(BufferPool):
     # -- BufferPool interface ----------------------------------------------------------------
 
     def get_page(self, page_id: int) -> PageView:
+        tracer = obs_active()
         frame = self._frame_of.get(page_id)
         if frame is not None and page_id not in self._invalid:
             self.hits += 1
+            if tracer is not None:
+                tracer.count("rdma.lbp_hits")
         else:
             if page_id not in self._registered:
                 self.server.register(page_id, self.node_id, self, self.meter)
@@ -196,10 +219,14 @@ class RdmaSharedBufferPool(BufferPool):
             image = self.server.read_page(page_id, self.meter)
             if frame is None:
                 self.misses += 1
+                if tracer is not None:
+                    tracer.count("rdma.lbp_misses")
                 frame = self._claim_frame()
                 self._frame_of[page_id] = frame
             else:
                 self.refetches += 1
+                if tracer is not None:
+                    tracer.count("rdma.lbp_refetches")
             self.mapped.write(frame * PAGE_SIZE, image)
             self._invalid.discard(page_id)
         self._touch(page_id)

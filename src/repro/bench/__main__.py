@@ -32,6 +32,7 @@ EXPERIMENTS = {
     "fig13": "test_fig13_breakdown.py",
     "table3": "test_table3_tpcc_tatp.py",
     "ablations": "test_ablations.py",
+    "counters": "test_counters_amplification.py",
 }
 
 
@@ -53,13 +54,21 @@ def _benchmarks_dir() -> pathlib.Path:
 
 
 def main(argv: list[str]) -> int:
+    # --counters: also run the mechanism-counter export (trace-verified
+    # bytes-moved amplification) alongside whatever was selected.
+    with_counters = "--counters" in argv
+    argv = [arg for arg in argv if arg != "--counters"]
+    if not argv and with_counters:
+        argv = ["counters"]
     if not argv or argv[0] in ("-h", "--help", "list"):
         print("experiments:")
         for name, filename in EXPERIMENTS.items():
             print(f"  {name:10s} benchmarks/{filename}")
-        print("\nusage: python -m repro.bench <experiment>... | all")
+        print("\nusage: python -m repro.bench [--counters] <experiment>... | all")
         return 0
     names = list(EXPERIMENTS) if argv == ["all"] else argv
+    if with_counters and "counters" not in names:
+        names.append("counters")
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")

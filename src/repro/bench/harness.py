@@ -47,6 +47,7 @@ __all__ = [
     "build_pooling_setup",
     "SharingSetup",
     "build_sharing_setup",
+    "counter_snapshot",
     "reset_meters",
     "SYSTEMS",
 ]
@@ -455,3 +456,86 @@ def build_sharing_setup(
         )
         setup.hosts.append(host)
     return setup
+
+
+# ---------------------------------------------------------------------------
+# Counter export
+# ---------------------------------------------------------------------------
+
+_POOL_STAT_ATTRS = (
+    "hits",
+    "misses",
+    "evictions",
+    "remote_fetches",
+    "storage_fetches",
+    "refetches",
+    "invalidations_observed",
+    "removals_observed",
+    "rpc_retries",
+)
+
+_BYTES_MOVED_PIPES = ("cxl", "rdma", "storage", "wal")
+
+
+def counter_snapshot(setup, tracer=None) -> dict[str, float]:
+    """Merge every mechanism counter of a finished run into one dict.
+
+    Works on both :class:`PoolingSetup` and :class:`SharingSetup`.
+    Sources, in order:
+
+    * each engine's :class:`AccessMeter` counters (``meter.`` prefix),
+    * per-pool stats attributes (``pool_stats.`` prefix, summed over
+      instances/nodes),
+    * fusion / DBP server stats when the setup has them,
+    * ``bytes_moved.{pipe}`` roll-ups derived from the meters' per-pipe
+      byte counts — the amplification numbers (rdma vs cxl traffic),
+    * the tracer's :class:`~repro.obs.counters.CounterRegistry` snapshot
+      (names used verbatim) when a tracer is passed or installed.
+    """
+    if tracer is None:
+        from ..obs.trace import active as _obs_active
+
+        tracer = _obs_active()
+    snap: dict[str, float] = {}
+
+    def add(key: str, amount: float) -> None:
+        snap[key] = snap.get(key, 0.0) + amount
+
+    contexts = getattr(setup, "instances", None)
+    if contexts is not None:
+        engines = [ictx.engine for ictx in contexts]
+    else:
+        engines = [node.engine for node in getattr(setup, "nodes", [])]
+    for engine in engines:
+        for key, value in engine.meter.counters.items():
+            add(f"meter.{key}", value)
+        pool = engine.buffer_pool
+        for attr in _POOL_STAT_ATTRS:
+            value = getattr(pool, attr, None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                add(f"pool_stats.{attr}", value)
+
+    fusion = getattr(setup, "fusion", None)
+    if fusion is not None:
+        add("fusion_stats.rpcs", fusion.rpcs)
+        add("fusion_stats.pages_loaded", fusion.pages_loaded)
+        add("fusion_stats.pages_recycled", fusion.pages_recycled)
+        add("fusion_stats.invalidations_pushed", fusion.invalidations_pushed)
+    dbp_server = getattr(setup, "dbp_server", None)
+    if dbp_server is not None:
+        add("dbp_stats.rpcs", dbp_server.rpcs)
+        add("dbp_stats.invalidation_messages", dbp_server.invalidation_messages)
+
+    for pipe in _BYTES_MOVED_PIPES:
+        moved = snap.get(f"meter.{pipe}_bytes")
+        if moved is not None:
+            add(f"bytes_moved.{pipe}", moved)
+    add(
+        "bytes_moved.interconnect",
+        snap.get("bytes_moved.cxl", 0.0) + snap.get("bytes_moved.rdma", 0.0),
+    )
+
+    if tracer is not None:
+        for name, value in tracer.counters.snapshot().items():
+            add(name, value)
+    return dict(sorted(snap.items()))

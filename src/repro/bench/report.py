@@ -7,9 +7,17 @@ a readable version of every table and figure.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "improvement_pct", "banner"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_counters",
+    "dump_counters_json",
+    "improvement_pct",
+    "banner",
+]
 
 
 def banner(title: str) -> str:
@@ -51,6 +59,55 @@ def format_series(
         f"{name}: [{chars}] peak={peak / 1e3:.0f}{y_unit} "
         f"span={series[0][0]:.2f}s..{series[-1][0]:.2f}s"
     )
+
+
+def format_counters(
+    snapshots: Mapping[str, Mapping[str, float]], title: str = "mechanism counters"
+) -> str:
+    """Render per-run counter snapshots side by side, grouped by prefix.
+
+    ``snapshots`` maps a run label (e.g. ``"cxl"``/``"rdma"``) to the
+    dict returned by :func:`repro.bench.harness.counter_snapshot`. The
+    union of counter names becomes the rows; a blank group line is
+    inserted whenever the dotted prefix changes, so ``mem.*``, ``pool.*``
+    and ``bytes_moved.*`` read as blocks.
+    """
+    labels = list(snapshots)
+    names = sorted({name for snap in snapshots.values() for name in snap})
+    rows: list[list[object]] = []
+    previous_group = None
+    for name in names:
+        group = name.split(".", 1)[0]
+        if previous_group is not None and group != previous_group:
+            rows.append([""] * (1 + len(labels)))
+        previous_group = group
+        rows.append(
+            [name] + [_count_cell(snapshots[label].get(name)) for label in labels]
+        )
+    return banner(title) + "\n" + format_table(["counter"] + labels, rows)
+
+
+def dump_counters_json(path, snapshots: Mapping[str, Mapping[str, float]]) -> None:
+    """Write counter snapshots as JSON (ints stay ints for diffability)."""
+    payload = {
+        label: {name: _json_number(value) for name, value in snap.items()}
+        for label, snap in snapshots.items()
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _json_number(value: float):
+    return int(value) if float(value).is_integer() else value
+
+
+def _count_cell(value) -> str:
+    if value is None:
+        return "-"
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:.3f}"
 
 
 def improvement_pct(baseline: float, improved: float) -> float:

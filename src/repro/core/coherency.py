@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..hardware.memory import AccessMeter, MemoryRegion
+from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 
 __all__ = ["FlagSlab", "FLAG_BYTES_PER_ENTRY", "set_remote_flag"]
@@ -44,6 +45,9 @@ def set_remote_flag(
     if meter is not None:
         meter.charge_ns(config.cxl_flag_store_ns)
         meter.count("flag_stores")
+    tracer = obs_active()
+    if tracer is not None:
+        tracer.count("coh.flag_stores")
 
 
 class FlagSlab:
@@ -98,6 +102,9 @@ class FlagSlab:
     def _read_flag(self, addr: int) -> bool:
         self.meter.charge_ns(self.config.cxl_switch_local_ns)
         self.meter.count("flag_reads")
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("coh.flag_reads")
         return self.region.read(addr, 1) != b"\x00"
 
     def _check(self, entry: int) -> None:

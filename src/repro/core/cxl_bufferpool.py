@@ -23,6 +23,7 @@ from ..db.bufferpool import BufferPool, BufferPoolFullError, OffsetAccessor
 from ..db.constants import OFF_LSN, PAGE_SIZE
 from ..db.page import PageView, format_empty_page
 from ..faults.injector import crash_point
+from ..obs.trace import active as obs_active
 from ..storage.pagestore import PageStore
 from .block import (
     BLOCK_NIL,
@@ -123,9 +124,12 @@ class CxlBufferPool(BufferPool):
     # -- BufferPool interface ------------------------------------------------------------
 
     def get_page(self, page_id: int) -> PageView:
+        tracer = obs_active()
         index = self._block_of.get(page_id)
         if index is None:
             self.misses += 1
+            if tracer is not None:
+                tracer.count("pool.cxl.misses")
             index = self._claim_block()
             image = self.page_store.read_page(page_id)
             self.mem.write(block_data_offset(index), image)
@@ -144,6 +148,8 @@ class CxlBufferPool(BufferPool):
             self._block_of[page_id] = index
         else:
             self.hits += 1
+            if tracer is not None:
+                tracer.count("pool.cxl.hits")
             self.note_lru_touch(page_id)
         self._pins[page_id] = self._pins.get(page_id, 0) + 1
         return self._view(page_id, index)
@@ -272,6 +278,9 @@ class CxlBufferPool(BufferPool):
         meta.set_lock_state(0)
         del self._block_of[page_id]
         self.evictions += 1
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("pool.cxl.evictions")
         return index
 
     # -- the CXL-resident LRU list ------------------------------------------------------------

@@ -23,6 +23,7 @@ from ..db.constants import PAGE_SIZE
 from ..faults.injector import active as fault_injector
 from ..faults.injector import crash_point
 from ..hardware.memory import AccessMeter, MemoryRegion
+from ..obs.trace import active as obs_active
 from ..sim.core import Simulator
 from ..sim.resources import RWLock
 from ..sim.latency import LatencyConfig
@@ -176,6 +177,9 @@ class BufferFusionServer:
         self.rpcs += 1
         meter.charge_ns(self.config.rpc_base_ns)
         meter.count("fusion_rpcs")
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("fusion.rpcs")
         entry = self._entries.get(page_id)
         if entry is None:
             slot = self._claim_slot(meter)
@@ -192,6 +196,8 @@ class BufferFusionServer:
             entry = FusionEntry(slot)
             self._entries[page_id] = entry
             self.pages_loaded += 1
+            if tracer is not None:
+                tracer.count("fusion.pages_loaded")
         self._entries.move_to_end(page_id)
         entry.active[node_id] = (invalid_addr, removal_addr)
         return self.data_offset_of_slot(entry.slot)
@@ -218,6 +224,7 @@ class BufferFusionServer:
         # but no other node was told — failover pushes the flags.
         crash_point("fusion.release.dirty")
         pushed = 0
+        tracer = obs_active()
         for node_id, (invalid_addr, _) in entry.active.items():
             if node_id == writer_node or not invalid_addr:
                 # Address 0 = the node registered no flags (hardware-
@@ -225,7 +232,17 @@ class BufferFusionServer:
                 continue
             set_remote_flag(self.region, invalid_addr, meter, self.config)
             pushed += 1
+            if tracer is not None:
+                tracer.emit(
+                    "fusion",
+                    "invalidate_push",
+                    page=page_id,
+                    writer=writer_node,
+                    target=node_id,
+                )
         self.invalidations_pushed += pushed
+        if tracer is not None and pushed:
+            tracer.count("fusion.invalidations_pushed", pushed)
         return pushed
 
     def deregister(self, page_id: int, node_id: str) -> None:
@@ -287,12 +304,31 @@ class BufferFusionServer:
                     meter.charge_ns(self.config.cxl_write_ns(PAGE_SIZE))
                     meter.charge_transfer("cxl", PAGE_SIZE)
                     entry.dirty = True
+                    tracer = obs_active()
+                    if tracer is not None:
+                        tracer.count("fusion.pages_rebuilt")
+                        tracer.emit(
+                            "fusion",
+                            "failover_rebuild",
+                            page=page_id,
+                            node=node_id,
+                            redo_records=len(page_records),
+                        )
                     for other, (invalid_addr, _) in entry.active.items():
                         if other != node_id and invalid_addr:
                             set_remote_flag(
                                 self.region, invalid_addr, meter, self.config
                             )
                             self.invalidations_pushed += 1
+                            if tracer is not None:
+                                tracer.count("fusion.invalidations_pushed")
+                                tracer.emit(
+                                    "fusion",
+                                    "invalidate_push",
+                                    page=page_id,
+                                    writer=node_id,
+                                    target=other,
+                                )
                     rebuilt += 1
             if lock_service is not None:
                 lock_service.force_release_write(page_id)
@@ -332,12 +368,22 @@ class BufferFusionServer:
                 # pushed — nodes keep a valid (if recycled-from-under-
                 # them-later) address until the next recycle pass.
                 crash_point("fusion.recycle.written")
-            for _, (_, removal_addr) in entry.active.items():
+            tracer = obs_active()
+            for node_id, (_, removal_addr) in entry.active.items():
                 if removal_addr:
                     set_remote_flag(self.region, removal_addr, meter, self.config)
+                    if tracer is not None:
+                        tracer.emit(
+                            "fusion",
+                            "removal_push",
+                            page=page_id,
+                            target=node_id,
+                        )
             self._free.append(entry.slot)
             recycled.append(page_id)
             self.pages_recycled += 1
+            if tracer is not None:
+                tracer.count("fusion.pages_recycled")
         return recycled
 
     # -- helpers -----------------------------------------------------------------------------

@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from time import perf_counter
 
 from ..db.constants import OFF_LSN, PAGE_SIZE
 from ..faults.injector import active as fault_injector
 from ..faults.injector import crash_point
+from ..obs.trace import active as obs_active
 from ..storage.pagestore import PageStore
 from ..storage.wal import RedoLog, RedoRecord
 from .block import BLOCK_NIL, block_data_offset
@@ -95,6 +97,8 @@ class PolarRecv:
 
     def recover(self) -> tuple[CxlBufferPool, RecoveryStats]:
         stats = RecoveryStats()
+        tracer = obs_active()
+        phase_start = perf_counter() if tracer is not None else 0.0
         self.redo_log.recover_lsn_counter()
         durable_max = self.redo_log.durable_max_lsn
         pool = CxlBufferPool(
@@ -171,6 +175,10 @@ class PolarRecv:
             else:
                 stats.pages_rebuilt_too_new += 1
 
+        if tracer is not None:
+            now = perf_counter()
+            tracer.observe("recv.phase_scan_s", now - phase_start)
+            phase_start = now
         in_use_set = set(in_use)
         if pool.header.lru_mutation_flag or not self._lru_valid(pool, in_use_set):
             pool.rebuild_lru(in_use)
@@ -180,6 +188,28 @@ class PolarRecv:
         crash_point("recovery.lru")
         pool.rebuild_free_list(free)
         crash_point("recovery.done")
+        if tracer is not None:
+            tracer.observe("recv.phase_relink_s", perf_counter() - phase_start)
+            tracer.count("recv.recoveries")
+            tracer.count("recv.blocks_scanned", stats.blocks_scanned)
+            tracer.count("recv.pages_kept", stats.pages_kept)
+            tracer.count("recv.pages_rebuilt", stats.pages_rebuilt)
+            tracer.count("recv.blocks_discarded", stats.blocks_discarded)
+            tracer.count("recv.redo_records_applied", stats.redo_records_applied)
+            if stats.log_scanned:
+                tracer.count("recv.log_scans")
+            if stats.lru_rebuilt:
+                tracer.count("recv.lru_rebuilds")
+            tracer.emit(
+                "recv",
+                "done",
+                blocks_scanned=stats.blocks_scanned,
+                pages_kept=stats.pages_kept,
+                pages_rebuilt=stats.pages_rebuilt,
+                redo_records_applied=stats.redo_records_applied,
+                log_scanned=stats.log_scanned,
+                lru_rebuilt=stats.lru_rebuilt,
+            )
         return pool, stats
 
     def _tear_block_write(self, index: int, image: bytes, rng) -> None:

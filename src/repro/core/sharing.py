@@ -37,7 +37,8 @@ from ..db.page import PageView
 from ..faults.injector import InjectedCrash, crash_point
 from ..hardware.cache import CpuCache
 from ..hardware.memory import AccessMeter, MemoryRegion
-from ..sim.latency import LatencyConfig
+from ..obs.trace import active as obs_active
+from ..sim.latency import CACHE_LINE, LatencyConfig
 from ..sim.settle import ChargeSettler
 from .coherency import FlagSlab
 from .fusion import BufferFusionServer, FusionUnavailableError, PageLockService
@@ -104,17 +105,32 @@ class SharedCxlBufferPool(BufferPool):
     # -- BufferPool interface --------------------------------------------------------------
 
     def get_page(self, page_id: int) -> PageView:
+        tracer = obs_active()
         meta = self._meta.get(page_id)
         if meta is None:
             meta = self._register(page_id)
+            if tracer is not None:
+                tracer.emit(
+                    "sharing",
+                    "page_access",
+                    node=self.node_id,
+                    page=page_id,
+                    saw_invalid=False,
+                    saw_removal=False,
+                    registered=True,
+                )
         else:
-            if self.flag_slab.read_removal(meta.entry):
+            saw_removal = self.flag_slab.read_removal(meta.entry)
+            if saw_removal:
                 # Our CXL address was recycled; fetch a fresh one.
                 self.removals_observed += 1
                 self.flag_slab.clear_removal(meta.entry)
                 self.cpu_cache.invalidate(self.region, meta.data_offset, PAGE_SIZE)
                 meta.data_offset = self._request_page_rpc(page_id, meta.entry)
-            if self.flag_slab.read_invalid(meta.entry):
+                if tracer is not None:
+                    tracer.count("sharing.removals_observed")
+            saw_invalid = self.flag_slab.read_invalid(meta.entry)
+            if saw_invalid:
                 # Another node modified the page: drop our (clean — the
                 # lock protocol guarantees it) cached lines so the next
                 # loads see the CXL copy.
@@ -124,6 +140,18 @@ class SharedCxlBufferPool(BufferPool):
                 )
                 self.meter.charge_ns(dropped * _INVALIDATE_LINE_NS)
                 self.flag_slab.clear_invalid(meta.entry)
+                if tracer is not None:
+                    tracer.count("sharing.invalidations_observed")
+            if tracer is not None:
+                tracer.emit(
+                    "sharing",
+                    "page_access",
+                    node=self.node_id,
+                    page=page_id,
+                    saw_invalid=saw_invalid,
+                    saw_removal=saw_removal,
+                    registered=False,
+                )
         self.fusion.note_touch(page_id)
         self._pins[page_id] = self._pins.get(page_id, 0) + 1
         return PageView(
@@ -173,8 +201,28 @@ class SharedCxlBufferPool(BufferPool):
         synchronization. Returns the number of lines flushed.
         """
         meta = self._meta[page_id]
+        tracer = obs_active()
+        dirty_before = (
+            self.cpu_cache.dirty_lines(self.region, meta.data_offset, PAGE_SIZE)
+            if tracer is not None
+            else 0
+        )
         written = self.cpu_cache.clflush(self.region, meta.data_offset, PAGE_SIZE)
         self.meter.count("lines_flushed", written)
+        if tracer is not None:
+            tracer.count("sharing.lines_flushed", written)
+            tracer.count("sharing.flush_bytes", written * CACHE_LINE)
+            tracer.emit(
+                "sharing",
+                "flush",
+                node=self.node_id,
+                page=page_id,
+                dirty_before=dirty_before,
+                lines_flushed=written,
+                dirty_after=self.cpu_cache.dirty_lines(
+                    self.region, meta.data_offset, PAGE_SIZE
+                ),
+            )
         # Crash here: every modified line reached CXL, but the fusion
         # server was never told — no invalid flags pushed, DBP copy not
         # marked dirty. Failover must treat the page as suspect.
@@ -250,6 +298,10 @@ class SharedCxlBufferPool(BufferPool):
     def _drop_entry(self, page_id: int, meta: _NodePageMeta) -> None:
         del self._meta[page_id]
         self._free_entries.append(meta.entry)
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("sharing.entries_dropped")
+            tracer.emit("sharing", "drop", node=self.node_id, page=page_id)
 
     @property
     def metadata_entries_used(self) -> int:
@@ -297,6 +349,9 @@ class MultiPrimaryNode:
         yield from self.settler.settle()
         yield from self.lock_service.lock_read(leaf_id)
         self.read_locks_held.add(leaf_id)
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("lock.read_acquires")
         try:
             mtr = self.engine.mtr()
             row = self.engine.tables[table_name].get(mtr, key)
@@ -325,6 +380,10 @@ class MultiPrimaryNode:
         yield from self.settler.settle()
         yield from self.lock_service.lock_write(leaf_id)
         self.write_locks_held.add(leaf_id)
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("lock.write_acquires")
+            tracer.emit("lock", "write_acquire", node=self.node_id, page=leaf_id)
         try:
             txn = self.engine.begin()
             mtr = txn.mtr()
@@ -347,6 +406,9 @@ class MultiPrimaryNode:
         except BaseException:
             self._unlock_write(leaf_id)
             raise
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.emit("lock", "write_release", node=self.node_id, page=leaf_id)
         self._unlock_write(leaf_id)
         return found
 
@@ -358,6 +420,9 @@ class MultiPrimaryNode:
         yield from self.settler.settle()
         yield from self.lock_service.lock_read(leaf_id)
         self.read_locks_held.add(leaf_id)
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("lock.read_acquires")
         try:
             mtr = self.engine.mtr()
             rows = self.engine.tables[table_name].range(mtr, start_key, count)

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from typing import Optional
 
 from ..hardware.memory import MappedMemory
+from ..obs.trace import active as obs_active
 from ..storage.pagestore import PageStore
 from .constants import OFF_LSN, PAGE_SIZE
 from .page import PageView, format_empty_page
@@ -141,15 +142,20 @@ class LocalBufferPool(BufferPool):
     # -- interface ------------------------------------------------------------------
 
     def get_page(self, page_id: int) -> PageView:
+        tracer = obs_active()
         frame = self._frame_of.get(page_id)
         if frame is None:
             self.misses += 1
+            if tracer is not None:
+                tracer.count("pool.dram.misses")
             frame = self._claim_frame()
             image = self.page_store.read_page(page_id)
             self.mapped.write(frame * PAGE_SIZE, image)
             self._frame_of[page_id] = frame
         else:
             self.hits += 1
+            if tracer is not None:
+                tracer.count("pool.dram.hits")
         self._touch(page_id)
         self._pins[page_id] = self._pins.get(page_id, 0) + 1
         return self._view(page_id, frame)
@@ -236,6 +242,9 @@ class LocalBufferPool(BufferPool):
         frame = self._frame_of.pop(victim)
         del self._lru[victim]
         self.evictions += 1
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("pool.dram.evictions")
         return frame
 
     @property

@@ -23,6 +23,7 @@ import struct
 from typing import TYPE_CHECKING
 
 from ..faults.injector import crash_point
+from ..obs.trace import active as obs_active
 from .bufferpool import BufferPool
 from .constants import PAGE_HEADER_SIZE
 from .page import format_empty_page
@@ -154,6 +155,11 @@ class MiniTransaction:
             pin_pool.unpin(page_id)
         if self.txn is not None and self._undo:
             self.txn._absorb_undo(self._undo)
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("mtr.commits")
+            if self._staged:
+                tracer.count("mtr.records_staged", len(self._staged))
         self._staged = []
         self._undo = []
         self._touched_views = []

@@ -41,6 +41,7 @@ failing coordinate, or from future CI jobs sweeping larger workloads.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..core.block import pool_bytes_needed
@@ -53,6 +54,9 @@ from ..db.record import Field, RecordCodec
 from ..hardware.cache import LineCacheModel
 from ..hardware.host import Cluster, Host
 from ..hardware.memory import AccessMeter, WindowedMemory
+from ..obs.invariants import assert_trace_invariants
+from ..obs.trace import Tracer
+from ..obs.trace import active as obs_active
 from ..sim.core import Simulator
 from ..storage.pagestore import PageStore
 from ..storage.wal import RedoLog
@@ -294,13 +298,27 @@ def _recover(scenario: _Scenario) -> Engine:
     return engine
 
 
+def _golden_tracer():
+    """A tracer for the golden run, unless one is already installed.
+
+    The golden run of every sweep doubles as a protocol-invariant check:
+    its full trace (WAL LSN order, coherency events when sharing) goes
+    through :func:`assert_trace_invariants`. When the caller already has
+    a tracer installed, their trace covers the run instead.
+    """
+    return Tracer() if obs_active() is None else None
+
+
 def _golden_run(seed: int) -> _GoldenRun:
     scenario = _build_scenario(seed)
     model = _setup_baseline(scenario)
     snapshots: dict[int, dict] = {}
     injector = FaultInjector(seed=seed)
-    with injector:
+    tracer = _golden_tracer()
+    with tracer or nullcontext(), injector:
         model = _run_workload(scenario, model, snapshots, random.Random(seed))
+    if tracer is not None:
+        assert_trace_invariants(tracer)
     if _read_contents(scenario.engine) != model:
         raise CrashSweepError("golden run is internally inconsistent")
     return _GoldenRun(list(injector.trace), snapshots, model)
@@ -507,8 +525,11 @@ def _sharing_golden(seed: int) -> _GoldenRun:
     model = _sharing_prephase(setup)
     snapshots: dict[int, dict] = {}
     injector = FaultInjector(seed=seed)
-    with injector:
+    tracer = _golden_tracer()
+    with tracer or nullcontext(), injector:
         _run_sharing_ops(setup, _sharing_ops(), model, snapshots, [0])
+    if tracer is not None:
+        assert_trace_invariants(tracer)
     reader = setup.nodes[1]
     for key in _SHARED_KEYS:
         row = setup.sim.run_process(reader.point_select(_SHARED_TABLE, key))

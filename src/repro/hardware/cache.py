@@ -26,6 +26,7 @@ from collections import OrderedDict
 from typing import Optional
 
 from ..faults.injector import crash_point
+from ..obs.trace import active as obs_active
 from ..sim.latency import CACHE_LINE
 from .memory import AccessMeter, LineCacheProtocol, MemoryRegion
 
@@ -157,6 +158,10 @@ class CpuCache:
         self.write_backs += written
         if self.meter is not None and written:
             self._charge_writeback(written)
+        tracer = obs_active()
+        if tracer is not None and written:
+            tracer.count("cache.lines_flushed", written)
+            tracer.count("cache.flush_bytes", written * CACHE_LINE)
         return written
 
     def invalidate(self, region: MemoryRegion, offset: int, nbytes: int) -> int:
@@ -169,6 +174,9 @@ class CpuCache:
         for line, _, _ in _line_spans(offset, nbytes):
             if self._lines.pop((region.name, line), None) is not None:
                 dropped += 1
+        tracer = obs_active()
+        if tracer is not None and dropped:
+            tracer.count("cache.lines_invalidated", dropped)
         return dropped
 
     def drop_all(self) -> None:
@@ -194,6 +202,9 @@ class CpuCache:
             entry = [data, False]
             self._lines[key] = entry
             self.fills += 1
+            tracer = obs_active()
+            if tracer is not None:
+                tracer.count("cache.lines_filled")
             if self.meter is not None:
                 self.meter.charge_ns(self.miss_ns)
                 if self.pipe_key is not None:
@@ -221,6 +232,16 @@ class CpuCache:
                 self.write_backs += 1
                 if self.meter is not None:
                     self._charge_writeback(1)
+                tracer = obs_active()
+                if tracer is not None:
+                    tracer.count("cache.evict_writebacks")
+                    tracer.emit(
+                        "cache",
+                        "evict_writeback",
+                        cache=self.name,
+                        region=region_name,
+                        line=line,
+                    )
 
     def _charge_writeback(self, lines: int) -> None:
         assert self.meter is not None

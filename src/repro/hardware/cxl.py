@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.trace import active as obs_active
 from ..sim.core import Simulator
 from ..sim.latency import LatencyConfig
 from ..sim.resources import Pipe
@@ -148,6 +149,12 @@ class CxlFabric:
                 name=f"{self.name}.link.{host_name}",
             )
             self._host_links[host_name] = pipe
+            tracer = obs_active()
+            if tracer is not None:
+                tracer.count("cxl.host_links")
+                tracer.emit(
+                    "cxl", "host_link", fabric=self.name, host=host_name
+                )
         return pipe
 
     # -- fault injection ------------------------------------------------------------
@@ -162,3 +169,6 @@ class CxlFabric:
             self._region.power_fail()
             self._region.power_restore()
             self._region.volatile = False
+            tracer = obs_active()
+            if tracer is not None:
+                tracer.emit("cxl", "pool_power_fail", fabric=self.name)

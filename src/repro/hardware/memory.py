@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.trace import active as obs_active
 from ..sim.latency import CACHE_LINE
 
 __all__ = [
@@ -206,6 +207,7 @@ class MappedMemory:
     def _charge(self, offset: int, nbytes: int, write: bool) -> None:
         timing = self.timing
         meter = self.meter
+        tracer = obs_active()
         if nbytes >= timing.burst_threshold:
             if write:
                 meter.charge_ns(
@@ -218,6 +220,8 @@ class MappedMemory:
                     + nbytes * timing.read_burst_ns_per_byte
                 )
             device_bytes = nbytes  # streamed: every byte crosses the link
+            if tracer is not None:
+                tracer.count(f"mem.{self.counter_key}.burst_bytes", nbytes)
         else:
             first_line = offset // CACHE_LINE
             last_line = (offset + max(nbytes, 1) - 1) // CACHE_LINE
@@ -232,7 +236,14 @@ class MappedMemory:
             # Only cache misses generate device/link traffic, at line
             # granularity — a hot B-tree root costs the CXL link nothing.
             device_bytes = misses * CACHE_LINE
+            if tracer is not None:
+                if hits:
+                    tracer.count(f"mem.{self.counter_key}.line_hits", hits)
+                if misses:
+                    tracer.count(f"mem.{self.counter_key}.line_misses", misses)
         meter.count(self.counter_key + "_touched_bytes", nbytes)
+        if tracer is not None and device_bytes:
+            tracer.count(f"mem.{self.counter_key}.device_bytes", device_bytes)
         if timing.pipe_key is not None and device_bytes:
             meter.charge_transfer(timing.pipe_key, device_bytes, timing.pipe_base_ns)
 

@@ -1,0 +1,40 @@
+"""Observability: structured trace events, mechanism counters, invariants.
+
+The paper's headline claims are *counts*, not just latencies — lines
+flushed instead of pages, redo records skipped instead of replayed,
+line-granular instead of page-granular interconnect bytes. This package
+makes those counts first-class:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` of structured events in
+  bounded per-subsystem ring buffers, installed globally exactly like
+  the fault injector (one global load + ``None`` check when disabled).
+* :mod:`repro.obs.counters` — a :class:`CounterRegistry` of named
+  counters and histograms, owned by the tracer.
+* :mod:`repro.obs.invariants` — a trace-driven checker replaying an
+  event stream and asserting coherency-protocol safety properties.
+"""
+
+from .counters import CounterRegistry, Histogram
+from .invariants import (
+    InvariantViolationError,
+    TraceInvariantChecker,
+    Violation,
+    assert_trace_invariants,
+    check_events,
+)
+from .trace import TraceEvent, Tracer, active, install, uninstall
+
+__all__ = [
+    "CounterRegistry",
+    "Histogram",
+    "InvariantViolationError",
+    "TraceEvent",
+    "TraceInvariantChecker",
+    "Tracer",
+    "Violation",
+    "active",
+    "assert_trace_invariants",
+    "check_events",
+    "install",
+    "uninstall",
+]

@@ -1,0 +1,277 @@
+"""Trace-driven coherency-protocol invariant checking.
+
+The checker replays a trace (any iterable of :class:`TraceEvent` in
+emission order) and asserts the safety properties the sharing protocol
+of §3.3 promises. It never looks at live objects — only at the event
+stream — so it works equally as a pytest fixture over a finished test,
+over a sweep-harness golden run, or over a benchmark trace.
+
+Checked invariants
+==================
+
+``no_stale_read``
+    After the fusion server pushes an ``invalid`` flag to a node for a
+    page (``fusion.invalidate_push``), that node's next access to the
+    page (``sharing.page_access``) must observe the flag and invalidate
+    its CPU cache (``saw_invalid=True``) — otherwise it read through
+    potentially stale cached lines. Tracking for a (node, page) pair
+    resets when the node drops its metadata entry (``sharing.drop``):
+    a re-registration invalidates the cache and fetches fresh bytes.
+
+``flush_on_write_release``
+    Every distributed write-lock release (``lock.write_release``) must
+    be preceded — since the matching ``lock.write_acquire`` — by a
+    flush of that page (``sharing.flush`` for the CXL pool,
+    ``rdma.flush_page`` for the RDMA baseline). A CXL flush must write
+    back *exactly* the dirty lines: ``lines_flushed == dirty_before``
+    and ``dirty_after == 0`` (clflush leaves nothing cached).
+
+``lsn_monotone``
+    Within one redo log, appended LSNs (``wal.append``) are strictly
+    increasing — globally and therefore per page.
+
+Event schema expected (unknown events are ignored, so traces may carry
+arbitrary additional subsystems):
+
+=========================  ==================================================
+event key                  fields used
+=========================  ==================================================
+``fusion.invalidate_push`` ``page``, ``target`` (and ``writer``, unused)
+``sharing.page_access``    ``node``, ``page``, ``saw_invalid``
+``sharing.drop``           ``node``, ``page``
+``sharing.flush``          ``node``, ``page``, ``dirty_before``,
+                           ``lines_flushed``, ``dirty_after``
+``rdma.flush_page``        ``node``, ``page``
+``lock.write_acquire``     ``node``, ``page``
+``lock.write_release``     ``node``, ``page``
+``wal.append``             ``log``, ``page``, ``lsn``
+=========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Violation",
+    "InvariantViolationError",
+    "TraceInvariantChecker",
+    "check_events",
+    "assert_trace_invariants",
+]
+
+# Subsystems the checker's correctness depends on: a dropped event here
+# could hide a violation, so assert_trace_invariants refuses such traces.
+PROTOCOL_SUBSYSTEMS = ("fusion", "sharing", "lock", "wal", "rdma")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant broken at one point of the trace."""
+
+    invariant: str
+    seq: int
+    detail: str
+
+
+class InvariantViolationError(AssertionError):
+    """The trace breaks one or more protocol invariants."""
+
+    def __init__(self, violations: list[Violation]) -> None:
+        lines = "\n".join(
+            f"  [{v.invariant}] @#{v.seq}: {v.detail}" for v in violations
+        )
+        super().__init__(
+            f"{len(violations)} trace invariant violation(s):\n{lines}"
+        )
+        self.violations = violations
+
+
+@dataclass
+class CheckStats:
+    """How much the checker actually verified (guards trivial passes)."""
+
+    events: int = 0
+    accesses_checked: int = 0
+    invalidations_tracked: int = 0
+    releases_checked: int = 0
+    flushes_checked: int = 0
+    appends_checked: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+
+class TraceInvariantChecker:
+    """Single-pass replay of an event stream against the §3.3 invariants."""
+
+    def __init__(self) -> None:
+        self.stats = CheckStats()
+        # (node, page) -> seq of the oldest unacknowledged invalid push
+        self._pending_invalid: dict[tuple, int] = {}
+        # (node, page) -> flush seen since the open write_acquire?
+        self._open_write_locks: dict[tuple, bool] = {}
+        # log id -> last appended LSN
+        self._last_lsn: dict[object, int] = {}
+
+    def check(self, events: Iterable[TraceEvent]) -> list[Violation]:
+        for event in events:
+            self.stats.events += 1
+            handler = _HANDLERS.get(event.key)
+            if handler is not None:
+                handler(self, event)
+        return self.stats.violations
+
+    # -- handlers -------------------------------------------------------------------
+
+    def _violate(self, invariant: str, event: TraceEvent, detail: str) -> None:
+        self.stats.violations.append(Violation(invariant, event.seq, detail))
+
+    def _on_invalidate_push(self, event: TraceEvent) -> None:
+        key = (event.fields["target"], event.fields["page"])
+        self._pending_invalid.setdefault(key, event.seq)
+        self.stats.invalidations_tracked += 1
+
+    def _on_page_access(self, event: TraceEvent) -> None:
+        fields = event.fields
+        key = (fields["node"], fields["page"])
+        pushed_at = self._pending_invalid.pop(key, None)
+        self.stats.accesses_checked += 1
+        if pushed_at is not None and not fields.get("saw_invalid"):
+            self._violate(
+                "no_stale_read",
+                event,
+                f"node {key[0]!r} accessed page {key[1]} without observing "
+                f"the invalid flag pushed at #{pushed_at} — stale CPU-cache "
+                "lines may have served the read",
+            )
+
+    def _on_drop(self, event: TraceEvent) -> None:
+        key = (event.fields["node"], event.fields["page"])
+        self._pending_invalid.pop(key, None)
+        self._open_write_locks.pop(key, None)
+
+    def _on_write_acquire(self, event: TraceEvent) -> None:
+        key = (event.fields["node"], event.fields["page"])
+        self._open_write_locks[key] = False
+
+    def _on_flush(self, event: TraceEvent) -> None:
+        fields = event.fields
+        key = (fields["node"], fields["page"])
+        self.stats.flushes_checked += 1
+        if key in self._open_write_locks:
+            self._open_write_locks[key] = True
+        dirty_before = fields["dirty_before"]
+        lines_flushed = fields["lines_flushed"]
+        dirty_after = fields["dirty_after"]
+        if lines_flushed != dirty_before:
+            self._violate(
+                "flush_on_write_release",
+                event,
+                f"node {key[0]!r} page {key[1]}: flushed {lines_flushed} "
+                f"lines but {dirty_before} were dirty — the release must "
+                "write back exactly the modified 64 B lines",
+            )
+        if dirty_after != 0:
+            self._violate(
+                "flush_on_write_release",
+                event,
+                f"node {key[0]!r} page {key[1]}: {dirty_after} dirty lines "
+                "survived the release flush",
+            )
+
+    def _on_rdma_flush(self, event: TraceEvent) -> None:
+        key = (event.fields["node"], event.fields["page"])
+        self.stats.flushes_checked += 1
+        if key in self._open_write_locks:
+            self._open_write_locks[key] = True
+
+    def _on_write_release(self, event: TraceEvent) -> None:
+        key = (event.fields["node"], event.fields["page"])
+        self.stats.releases_checked += 1
+        flushed = self._open_write_locks.pop(key, None)
+        if flushed is None:
+            self._violate(
+                "flush_on_write_release",
+                event,
+                f"node {key[0]!r} released a write lock on page {key[1]} "
+                "it never acquired in this trace",
+            )
+        elif not flushed:
+            self._violate(
+                "flush_on_write_release",
+                event,
+                f"node {key[0]!r} released the write lock on page {key[1]} "
+                "without flushing its modifications",
+            )
+
+    def _on_wal_append(self, event: TraceEvent) -> None:
+        fields = event.fields
+        log, lsn = fields["log"], fields["lsn"]
+        self.stats.appends_checked += 1
+        last = self._last_lsn.get(log)
+        if last is not None and lsn <= last:
+            self._violate(
+                "lsn_monotone",
+                event,
+                f"log {log!r}: LSN {lsn} appended after {last} "
+                f"(page {fields['page']})",
+            )
+        if last is None or lsn > last:
+            self._last_lsn[log] = lsn
+
+
+_HANDLERS = {
+    "fusion.invalidate_push": TraceInvariantChecker._on_invalidate_push,
+    "sharing.page_access": TraceInvariantChecker._on_page_access,
+    "sharing.drop": TraceInvariantChecker._on_drop,
+    "sharing.flush": TraceInvariantChecker._on_flush,
+    "rdma.flush_page": TraceInvariantChecker._on_rdma_flush,
+    "lock.write_acquire": TraceInvariantChecker._on_write_acquire,
+    "lock.write_release": TraceInvariantChecker._on_write_release,
+    "wal.append": TraceInvariantChecker._on_wal_append,
+}
+
+
+def check_events(events: Iterable[TraceEvent]) -> list[Violation]:
+    """Replay ``events``; returns the violations found (possibly empty)."""
+    return TraceInvariantChecker().check(events)
+
+
+def assert_trace_invariants(
+    source: Union[Tracer, Iterable[TraceEvent]],
+) -> CheckStats:
+    """Check a tracer (or raw event list); raise on any violation.
+
+    When given a :class:`Tracer`, also refuses traces whose protocol
+    subsystems overflowed their rings — lost events could hide
+    violations, so such a run must be re-traced with a larger capacity.
+    Returns the checker's :class:`CheckStats` so callers can assert the
+    trace was non-trivial (e.g. ``stats.releases_checked > 0``).
+    """
+    if isinstance(source, Tracer):
+        lost = {
+            subsystem: count
+            for subsystem, count in source.dropped.items()
+            if subsystem in PROTOCOL_SUBSYSTEMS and count
+        }
+        if lost:
+            raise InvariantViolationError(
+                [
+                    Violation(
+                        "trace_complete",
+                        0,
+                        f"protocol events dropped from full rings: {lost}; "
+                        "raise Tracer(capacity_per_subsystem=...)",
+                    )
+                ]
+            )
+        events = source.events()
+    else:
+        events = list(source)
+    checker = TraceInvariantChecker()
+    violations = checker.check(events)
+    if violations:
+        raise InvariantViolationError(violations)
+    return checker.stats

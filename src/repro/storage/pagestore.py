@@ -22,6 +22,7 @@ from typing import Iterator, Optional
 
 from ..faults.injector import active as fault_injector
 from ..hardware.memory import AccessMeter
+from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 
 __all__ = ["PageStore", "SECTOR_SIZE"]
@@ -64,6 +65,10 @@ class PageStore:
             self.meter.charge_transfer(
                 "storage", self.page_size, base_ns=self.config.storage_read_base_ns
             )
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("store.page_reads")
+            tracer.count("store.read_bytes", self.page_size)
         return image
 
     def write_page(self, page_id: int, image: bytes) -> None:
@@ -84,6 +89,10 @@ class PageStore:
             self.meter.charge_transfer(
                 "storage", self.page_size, base_ns=self.config.storage_write_base_ns
             )
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("store.page_writes")
+            tracer.count("store.write_bytes", self.page_size)
 
     def _tear_write(self, page_id: int, image: bytes, rng: random.Random) -> None:
         """Crash mid-write: persist a sector-granular prefix of ``image``.

@@ -24,6 +24,7 @@ from typing import Optional
 
 from ..faults.injector import crash_point
 from ..hardware.memory import AccessMeter
+from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 
 __all__ = ["RedoRecord", "RedoLog"]
@@ -72,6 +73,10 @@ class RedoLog:
         lsn = self._next_lsn
         self._next_lsn += 1
         self._buffer.append(RedoRecord(lsn, page_id, offset, bytes(data)))
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("wal.records_appended")
+            tracer.emit("wal", "append", log=id(self), page=page_id, lsn=lsn)
         crash_point("wal.append")
         if self.meter is not None:
             self.meter.count("redo_records")
@@ -83,6 +88,10 @@ class RedoLog:
             # A crash here loses the whole buffer (it is host DRAM).
             crash_point("wal.flush.begin")
             nbytes = sum(record.size_bytes for record in self._buffer)
+            tracer = obs_active()
+            if tracer is not None:
+                tracer.count("wal.records_flushed", len(self._buffer))
+                tracer.count("wal.bytes_flushed", nbytes)
             self._durable.extend(self._buffer)
             self._buffer = []
             self.flushes += 1

@@ -163,6 +163,22 @@ def row_for(key: int) -> dict:
 
 
 @pytest.fixture
+def traced():
+    """Install a tracer for the test; verify protocol invariants after.
+
+    Yields the :class:`~repro.obs.trace.Tracer`; on teardown the whole
+    trace goes through :func:`assert_trace_invariants`, so any test
+    using this fixture gets stale-read / flush-on-release / LSN-order
+    checking for free.
+    """
+    from repro.obs import Tracer, assert_trace_invariants
+
+    with Tracer() as tracer:
+        yield tracer
+    assert_trace_invariants(tracer)
+
+
+@pytest.fixture
 def local_ctx(host: Host) -> EngineCtx:
     return make_local_engine(host)
 

@@ -1,0 +1,204 @@
+"""Invariant-checker unit tests over fabricated traces.
+
+Each violation class gets a hand-built trace that breaks exactly one
+invariant, plus the minimal edit that makes the same trace legal — the
+checker must flag the former and pass the latter.
+"""
+
+import pytest
+
+from repro.obs import (
+    InvariantViolationError,
+    Tracer,
+    assert_trace_invariants,
+    check_events,
+)
+
+
+def _trace(*steps):
+    """Build a TraceEvent list from (subsystem, name, fields) tuples."""
+    tracer = Tracer()
+    for subsystem, name, fields in steps:
+        tracer.emit(subsystem, name, **fields)
+    return tracer.events()
+
+
+def _violations(*steps):
+    return check_events(_trace(*steps))
+
+
+GOOD_FLUSH = {"dirty_before": 3, "lines_flushed": 3, "dirty_after": 0}
+
+
+class TestNoStaleRead:
+    def test_access_ignoring_invalid_flag_is_flagged(self):
+        violations = _violations(
+            ("fusion", "invalidate_push", {"page": 5, "writer": "n1", "target": "n0"}),
+            ("sharing", "page_access",
+             {"node": "n0", "page": 5, "saw_invalid": False, "registered": False}),
+        )
+        assert [v.invariant for v in violations] == ["no_stale_read"]
+        assert "stale" in violations[0].detail
+
+    def test_access_observing_flag_passes(self):
+        assert not _violations(
+            ("fusion", "invalidate_push", {"page": 5, "writer": "n1", "target": "n0"}),
+            ("sharing", "page_access",
+             {"node": "n0", "page": 5, "saw_invalid": True, "registered": False}),
+        )
+
+    def test_only_the_targeted_node_is_constrained(self):
+        assert not _violations(
+            ("fusion", "invalidate_push", {"page": 5, "writer": "n1", "target": "n0"}),
+            ("sharing", "page_access",
+             {"node": "n2", "page": 5, "saw_invalid": False, "registered": False}),
+        )
+
+    def test_drop_resets_tracking(self):
+        # Deregistering drops the cached lines; a later re-registration
+        # fetches fresh bytes, so the pending flag no longer applies.
+        assert not _violations(
+            ("fusion", "invalidate_push", {"page": 5, "writer": "n1", "target": "n0"}),
+            ("sharing", "drop", {"node": "n0", "page": 5}),
+            ("sharing", "page_access",
+             {"node": "n0", "page": 5, "saw_invalid": False, "registered": True}),
+        )
+
+    def test_second_access_after_acknowledging_is_free(self):
+        assert not _violations(
+            ("fusion", "invalidate_push", {"page": 5, "writer": "n1", "target": "n0"}),
+            ("sharing", "page_access",
+             {"node": "n0", "page": 5, "saw_invalid": True, "registered": False}),
+            ("sharing", "page_access",
+             {"node": "n0", "page": 5, "saw_invalid": False, "registered": False}),
+        )
+
+
+class TestFlushOnWriteRelease:
+    def test_release_without_flush_is_flagged(self):
+        violations = _violations(
+            ("lock", "write_acquire", {"node": "n0", "page": 9}),
+            ("lock", "write_release", {"node": "n0", "page": 9}),
+        )
+        assert [v.invariant for v in violations] == ["flush_on_write_release"]
+        assert "without flushing" in violations[0].detail
+
+    def test_release_after_flush_passes(self):
+        assert not _violations(
+            ("lock", "write_acquire", {"node": "n0", "page": 9}),
+            ("sharing", "flush", {"node": "n0", "page": 9, **GOOD_FLUSH}),
+            ("lock", "write_release", {"node": "n0", "page": 9}),
+        )
+
+    def test_rdma_page_flush_also_satisfies_release(self):
+        assert not _violations(
+            ("lock", "write_acquire", {"node": "n0", "page": 9}),
+            ("rdma", "flush_page", {"node": "n0", "page": 9}),
+            ("lock", "write_release", {"node": "n0", "page": 9}),
+        )
+
+    def test_flush_of_other_page_does_not_satisfy(self):
+        violations = _violations(
+            ("lock", "write_acquire", {"node": "n0", "page": 9}),
+            ("sharing", "flush", {"node": "n0", "page": 8, **GOOD_FLUSH}),
+            ("lock", "write_release", {"node": "n0", "page": 9}),
+        )
+        assert [v.invariant for v in violations] == ["flush_on_write_release"]
+
+    def test_release_without_acquire_is_flagged(self):
+        violations = _violations(
+            ("lock", "write_release", {"node": "n0", "page": 9}),
+        )
+        assert [v.invariant for v in violations] == ["flush_on_write_release"]
+        assert "never acquired" in violations[0].detail
+
+    def test_partial_flush_is_flagged(self):
+        violations = _violations(
+            ("sharing", "flush",
+             {"node": "n0", "page": 9,
+              "dirty_before": 4, "lines_flushed": 2, "dirty_after": 2}),
+        )
+        kinds = [v.invariant for v in violations]
+        assert kinds == ["flush_on_write_release"] * 2  # wrong count + residue
+
+    def test_over_flush_is_flagged(self):
+        violations = _violations(
+            ("sharing", "flush",
+             {"node": "n0", "page": 9,
+              "dirty_before": 1, "lines_flushed": 5, "dirty_after": 0}),
+        )
+        assert [v.invariant for v in violations] == ["flush_on_write_release"]
+
+
+class TestLsnMonotone:
+    def test_decreasing_lsn_is_flagged(self):
+        violations = _violations(
+            ("wal", "append", {"log": 1, "page": 3, "lsn": 10}),
+            ("wal", "append", {"log": 1, "page": 4, "lsn": 9}),
+        )
+        assert [v.invariant for v in violations] == ["lsn_monotone"]
+
+    def test_repeated_lsn_is_flagged(self):
+        violations = _violations(
+            ("wal", "append", {"log": 1, "page": 3, "lsn": 10}),
+            ("wal", "append", {"log": 1, "page": 3, "lsn": 10}),
+        )
+        assert [v.invariant for v in violations] == ["lsn_monotone"]
+
+    def test_increasing_lsns_pass(self):
+        assert not _violations(
+            ("wal", "append", {"log": 1, "page": 3, "lsn": 10}),
+            ("wal", "append", {"log": 1, "page": 4, "lsn": 11}),
+        )
+
+    def test_logs_are_independent(self):
+        assert not _violations(
+            ("wal", "append", {"log": 1, "page": 3, "lsn": 10}),
+            ("wal", "append", {"log": 2, "page": 3, "lsn": 5}),
+        )
+
+
+class TestAssertTraceInvariants:
+    def test_raises_with_all_violations(self):
+        events = _trace(
+            ("lock", "write_release", {"node": "n0", "page": 1}),
+            ("wal", "append", {"log": 1, "page": 1, "lsn": 5}),
+            ("wal", "append", {"log": 1, "page": 1, "lsn": 5}),
+        )
+        with pytest.raises(InvariantViolationError) as excinfo:
+            assert_trace_invariants(events)
+        assert len(excinfo.value.violations) == 2
+        assert isinstance(excinfo.value, AssertionError)
+
+    def test_returns_stats_for_clean_trace(self):
+        tracer = Tracer()
+        tracer.emit("lock", "write_acquire", node="n0", page=1)
+        tracer.emit("sharing", "flush", node="n0", page=1, **GOOD_FLUSH)
+        tracer.emit("lock", "write_release", node="n0", page=1)
+        tracer.emit("wal", "append", log=1, page=1, lsn=1)
+        stats = assert_trace_invariants(tracer)
+        assert stats.events == 4
+        assert stats.releases_checked == 1
+        assert stats.flushes_checked == 1
+        assert stats.appends_checked == 1
+
+    def test_unknown_events_are_ignored(self):
+        stats = assert_trace_invariants(
+            _trace(("custom", "thing", {"x": 1}), ("mem", "access", {}))
+        )
+        assert stats.events == 2
+        assert stats.accesses_checked == 0
+
+    def test_dropped_protocol_events_rejected(self):
+        tracer = Tracer(capacity_per_subsystem=2)
+        for lsn in range(1, 5):
+            tracer.emit("wal", "append", log=1, page=1, lsn=lsn)
+        with pytest.raises(InvariantViolationError) as excinfo:
+            assert_trace_invariants(tracer)
+        assert excinfo.value.violations[0].invariant == "trace_complete"
+
+    def test_dropped_non_protocol_events_tolerated(self):
+        tracer = Tracer(capacity_per_subsystem=2)
+        for _ in range(5):
+            tracer.emit("mem", "access")
+        assert assert_trace_invariants(tracer).events == 2

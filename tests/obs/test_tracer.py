@@ -1,0 +1,162 @@
+"""Tracer and counter-registry unit tests."""
+
+import pytest
+
+from repro.obs import Tracer, active, install, uninstall
+from repro.obs.counters import CounterRegistry, Histogram
+
+
+class TestTracerEvents:
+    def test_emit_records_fields_and_key(self):
+        tracer = Tracer()
+        tracer.emit("sharing", "flush", node="n0", page=7)
+        (event,) = tracer.events()
+        assert event.key == "sharing.flush"
+        assert event.fields == {"node": "n0", "page": 7}
+        assert event.seq == 1
+
+    def test_global_sequence_spans_subsystems(self):
+        tracer = Tracer()
+        tracer.emit("a", "x")
+        tracer.emit("b", "y")
+        tracer.emit("a", "z")
+        assert [e.seq for e in tracer.events()] == [1, 2, 3]
+        assert [e.key for e in tracer.events()] == ["a.x", "b.y", "a.z"]
+        assert [e.key for e in tracer.events("b")] == ["b.y"]
+        assert tracer.subsystems() == ["a", "b"]
+
+    def test_ring_bound_drops_oldest_and_counts(self):
+        tracer = Tracer(capacity_per_subsystem=4)
+        for i in range(7):
+            tracer.emit("mem", "access", i=i)
+        events = tracer.events("mem")
+        assert len(events) == 4
+        assert [e.fields["i"] for e in events] == [3, 4, 5, 6]
+        assert tracer.dropped == {"mem": 3}
+        assert tracer.total_dropped == 3
+
+    def test_chatty_subsystem_cannot_evict_another(self):
+        tracer = Tracer(capacity_per_subsystem=4)
+        tracer.emit("lock", "write_acquire", node="n0", page=1)
+        for _ in range(100):
+            tracer.emit("mem", "access")
+        assert len(tracer.events("lock")) == 1
+        assert "lock" not in tracer.dropped
+
+    def test_clock_stamps_events(self):
+        now = {"t": 0.0}
+        tracer = Tracer(clock=lambda: now["t"])
+        tracer.emit("a", "x")
+        now["t"] = 2.5
+        tracer.emit("a", "y")
+        assert [e.t for e in tracer.events()] == [0.0, 2.5]
+
+    def test_attach_clock_later(self):
+        tracer = Tracer()
+        tracer.emit("a", "x")
+        tracer.attach_clock(lambda: 9.0)
+        tracer.emit("a", "y")
+        assert [e.t for e in tracer.events()] == [0.0, 9.0]
+
+    def test_clear_events_keeps_counters(self):
+        tracer = Tracer()
+        tracer.emit("a", "x")
+        tracer.count("hits", 3)
+        tracer.clear_events()
+        assert tracer.events() == []
+        assert tracer.counters.get("hits") == 3
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity_per_subsystem=0)
+
+
+class TestInstallation:
+    def test_disabled_by_default(self):
+        assert active() is None
+
+    def test_install_uninstall(self):
+        tracer = Tracer()
+        install(tracer)
+        try:
+            assert active() is tracer
+        finally:
+            uninstall(tracer)
+        assert active() is None
+
+    def test_context_manager(self):
+        with Tracer() as tracer:
+            assert active() is tracer
+        assert active() is None
+
+    def test_double_install_rejected(self):
+        with Tracer():
+            with pytest.raises(RuntimeError):
+                install(Tracer())
+        assert active() is None
+
+    def test_reinstalling_same_tracer_is_fine(self):
+        with Tracer() as tracer:
+            assert install(tracer) is tracer
+        assert active() is None
+
+    def test_uninstall_wrong_tracer_rejected(self):
+        with Tracer():
+            with pytest.raises(RuntimeError):
+                uninstall(Tracer())
+        assert active() is None
+
+    def test_uninstall_idempotent(self):
+        uninstall()
+        uninstall(Tracer())  # nothing installed: no-op
+
+    def test_installed_tracer_collects_counts(self):
+        with Tracer() as tracer:
+            current = active()
+            assert current is not None
+            current.count("x.y", 2)
+            current.emit("s", "e", a=1)
+        assert tracer.counters.get("x.y") == 2
+        assert len(tracer.events("s")) == 1
+
+
+class TestCounterRegistry:
+    def test_add_and_snapshot_sorted(self):
+        reg = CounterRegistry()
+        reg.add("b", 2)
+        reg.add("a")
+        reg.add("b", 0.5)
+        assert reg.snapshot() == {"a": 1.0, "b": 2.5}
+        assert list(reg.snapshot()) == ["a", "b"]
+
+    def test_get_missing_is_zero(self):
+        assert CounterRegistry().get("nope") == 0.0
+
+    def test_observe_builds_histogram(self):
+        reg = CounterRegistry()
+        for value in (1.0, 2.0, 4.0, 4.0):
+            reg.observe("lat", value)
+        hist = reg.histogram("lat")
+        assert isinstance(hist, Histogram)
+        assert hist.count == 4
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        assert hist.mean == pytest.approx(2.75)
+        summary = hist.summary()
+        assert summary["count"] == 4
+
+    def test_histogram_snapshot_separate_from_counters(self):
+        reg = CounterRegistry()
+        reg.add("c")
+        reg.observe("h", 1.0)
+        assert "h" not in reg.snapshot()
+        assert "c" not in reg.histogram_snapshot()
+        assert reg.histogram_snapshot()["h"]["count"] == 1
+
+    def test_reset(self):
+        reg = CounterRegistry()
+        reg.add("c", 5)
+        reg.observe("h", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {}
+        assert reg.histogram_snapshot() == {}
