@@ -1,0 +1,519 @@
+"""Wall-clock performance harness: ``python -m repro.bench perf``.
+
+The ROADMAP's north star includes "runs as fast as the hardware allows";
+this module is the perf trajectory for that claim. It measures the three
+hot paths every benchmark funnels through — the event loop, metered
+memory accesses, and an end-to-end figure-7 slice — and writes the
+results to ``BENCH_perf.json`` at the repo root.
+
+Machine-independence: absolute events/sec numbers are useless as CI
+gates (runners differ wildly), so the headline metrics are *speedup
+ratios* against frozen **reference implementations** — verbatim copies
+of the pre-optimization kernel and access-metering code, run in the same
+process on the same machine moments apart. The reference numbers ARE the
+pre-PR baseline, re-measured fresh on every run; the harness asserts the
+optimized paths stay at least ``--min-speedup`` (default 1.5×) ahead.
+If an intentional change makes the ratio drop below the gate, either
+recover the loss or update the reference code to the new baseline and
+say so in PERFORMANCE.md.
+
+Behavioral identity (same simulated time, same counters) is asserted
+separately by the pinned snapshots in ``tests/bench/``; this harness
+additionally cross-checks that the optimized and reference access paths
+charge *identical* meter state on an identical access pattern.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import pathlib
+import sys
+import time
+from dataclasses import dataclass
+
+from ..hardware.cache import LineCacheModel
+from ..hardware.memory import (
+    AccessMeter,
+    MappedMemory,
+    MemoryRegion,
+    MemoryTiming,
+)
+from ..obs.trace import Tracer
+from ..sim.core import Simulator
+from ..sim.latency import CACHE_LINE, LatencyConfig
+
+__all__ = ["run_perf", "main"]
+
+PAGE = 16384
+
+
+# ---------------------------------------------------------------------------
+# Frozen pre-optimization reference implementations (the pre-PR baseline).
+# Verbatim hot-path logic from the seed revision — do not "improve" these:
+# their whole value is being the yardstick the optimized code is measured
+# against.
+# ---------------------------------------------------------------------------
+
+
+class _RefEvent:
+    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_fired")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._triggered = False
+        self._fired = False
+
+    @property
+    def value(self):
+        return self._value
+
+    @property
+    def triggered(self):
+        return self._triggered
+
+    def succeed(self, value=None, delay=0):
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self.sim.now + delay, self)
+        return self
+
+    def _fire(self):
+        if self._fired:
+            raise RuntimeError("event fired twice")
+        self._fired = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class _RefTimeout(_RefEvent):
+    __slots__ = ()
+
+    def __init__(self, sim, delay, value=None):
+        super().__init__(sim)
+        self.succeed(value, delay=int(delay))
+
+
+class _RefProcess(_RefEvent):
+    __slots__ = ("generator", "name")
+
+    def __init__(self, sim, generator, name=""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name
+        bootstrap = _RefEvent(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, event):
+        try:
+            target = self.generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        target.callbacks.append(self._resume)
+
+
+class _RefSimulator:
+    def __init__(self) -> None:
+        self.now = 0
+        self._queue = []
+        self._seq = 0
+
+    def timeout(self, delay, value=None):
+        return _RefTimeout(self, delay, value)
+
+    def process(self, generator, name=""):
+        return _RefProcess(self, generator, name)
+
+    def _schedule(self, at, event):
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, event))
+
+    def run(self):
+        queue = self._queue
+        while queue:
+            at, _, event = queue[0]
+            heapq.heappop(queue)
+            self.now = at
+            event._fire()
+
+    def run_process(self, generator):
+        proc = self.process(generator)
+        self.run()
+        return proc.value
+
+
+@dataclass(frozen=True)
+class _RefCharge:
+    pipe_key: str
+    nbytes: int
+    base_ns: float = 0.0
+
+
+class _RefMeter:
+    def __init__(self) -> None:
+        self.ns = 0.0
+        self.transfers = []
+        self.counters = {}
+
+    def charge_ns(self, ns):
+        self.ns += ns
+
+    def count(self, key, amount=1.0):
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    def charge_transfer(self, pipe_key, nbytes, base_ns=0.0):
+        self.transfers.append(_RefCharge(pipe_key, nbytes, base_ns))
+        self.count(pipe_key + "_bytes", nbytes)
+        self.count(pipe_key + "_ops", 1)
+
+    def take(self):
+        ns, self.ns = self.ns, 0.0
+        transfers, self.transfers = self.transfers, []
+        return ns, transfers
+
+
+class _RefLineCache:
+    def __init__(self, capacity_bytes=32 << 20) -> None:
+        from collections import OrderedDict
+
+        self.capacity_lines = capacity_bytes // CACHE_LINE
+        self._lines = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def touch(self, region_name, line):
+        key = (region_name, line)
+        lines = self._lines
+        if key in lines:
+            lines.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        lines[key] = None
+        if len(lines) > self.capacity_lines:
+            lines.popitem(last=False)
+        return False
+
+
+class _RefMappedMemory:
+    """Pre-PR ``MappedMemory._charge``: per-access latency arithmetic,
+    per-line ``touch`` calls, per-access counter-key string building."""
+
+    def __init__(self, region, timing, meter, line_cache, counter_key) -> None:
+        self.region = region
+        self.timing = timing
+        self.meter = meter
+        self.line_cache = line_cache
+        self.counter_key = counter_key
+
+    def read(self, offset, nbytes):
+        self._charge(offset, nbytes, write=False)
+        return self.region.read(offset, nbytes)
+
+    def _charge(self, offset, nbytes, write):
+        timing = self.timing
+        meter = self.meter
+        if nbytes >= timing.burst_threshold:
+            if write:
+                meter.charge_ns(
+                    timing.write_burst_base_ns + nbytes * timing.write_burst_ns_per_byte
+                )
+            else:
+                meter.charge_ns(
+                    timing.read_burst_base_ns + nbytes * timing.read_burst_ns_per_byte
+                )
+            device_bytes = nbytes
+        else:
+            first_line = offset // CACHE_LINE
+            last_line = (offset + max(nbytes, 1) - 1) // CACHE_LINE
+            hits = 0
+            misses = 0
+            for line in range(first_line, last_line + 1):
+                if self.line_cache.touch(self.region.name, line):
+                    hits += 1
+                else:
+                    misses += 1
+            meter.charge_ns(misses * timing.miss_ns + hits * timing.hit_ns)
+            device_bytes = misses * CACHE_LINE
+        meter.count(self.counter_key + "_touched_bytes", nbytes)
+        if timing.pipe_key is not None and device_bytes:
+            meter.charge_transfer(timing.pipe_key, device_bytes, timing.pipe_base_ns)
+
+
+# ---------------------------------------------------------------------------
+# Workloads (identical shapes run against optimized and reference code).
+# ---------------------------------------------------------------------------
+
+
+def _cxl_timing(config: LatencyConfig) -> MemoryTiming:
+    return MemoryTiming(
+        miss_ns=config.cxl_switch_local_ns,
+        hit_ns=18.0,
+        read_burst_base_ns=config.cxl_read_base_ns,
+        read_burst_ns_per_byte=config.cxl_read_ns_per_byte,
+        write_burst_base_ns=config.cxl_write_base_ns,
+        write_burst_ns_per_byte=config.cxl_write_ns_per_byte,
+        pipe_key="cxl",
+    )
+
+
+def _build_mapped(optimized: bool, region_bytes: int):
+    region = MemoryRegion("perf", region_bytes, volatile=False)
+    timing = _cxl_timing(LatencyConfig())
+    if optimized:
+        meter = AccessMeter()
+        mapped = MappedMemory(region, timing, meter, LineCacheModel(1 << 20), "cxl")
+    else:
+        meter = _RefMeter()
+        mapped = _RefMappedMemory(region, timing, meter, _RefLineCache(1 << 20), "cxl")
+    return mapped, meter
+
+
+def _drain(meter) -> None:
+    meter.take()
+    meter.counters.clear()
+
+
+def bench_event_loop(n_events: int, optimized: bool = True) -> float:
+    """Timeout-chain throughput of the kernel; returns events/second."""
+    sim = Simulator() if optimized else _RefSimulator()
+
+    def chain():
+        timeout = sim.timeout
+        for _ in range(n_events):
+            yield timeout(10)
+
+    start = time.perf_counter()
+    sim.run_process(chain())
+    elapsed = time.perf_counter() - start
+    return n_events / elapsed
+
+
+def bench_metered_access(n_accesses: int, optimized: bool = True) -> float:
+    """32 B metered reads/second through the line-cache cost model.
+
+    The working set (4× the line-cache capacity) forces a steady mix of
+    hits and misses, matching what pool metadata traffic looks like.
+    """
+    region_bytes = 4 << 20
+    mapped, meter = _build_mapped(optimized, region_bytes)
+    n_slots = region_bytes // 32
+    start = time.perf_counter()
+    read = mapped.read
+    for i in range(n_accesses):
+        read((i * 7919 % n_slots) * 32, 32)
+        if not i % 4096:
+            _drain(meter)
+    elapsed = time.perf_counter() - start
+    return n_accesses / elapsed
+
+
+def bench_page_burst(n_pages: int, optimized: bool = True) -> float:
+    """16 KB burst reads/second (page-granular transfer path)."""
+    region_bytes = 8 << 20
+    mapped, meter = _build_mapped(optimized, region_bytes)
+    n_slots = region_bytes // PAGE
+    start = time.perf_counter()
+    read = mapped.read
+    for i in range(n_pages):
+        read((i % n_slots) * PAGE, PAGE)
+        if not i % 512:
+            _drain(meter)
+    elapsed = time.perf_counter() - start
+    return n_pages / elapsed
+
+
+def bench_tracer_overhead(n_accesses: int) -> tuple[float, float]:
+    """(tracer-off, tracer-on) metered reads/second on the optimized path."""
+    off = bench_metered_access(n_accesses, optimized=True)
+    region_bytes = 4 << 20
+    mapped, meter = _build_mapped(True, region_bytes)
+    n_slots = region_bytes // 32
+    with Tracer():
+        start = time.perf_counter()
+        read = mapped.read
+        for i in range(n_accesses):
+            read((i * 7919 % n_slots) * 32, 32)
+            if not i % 4096:
+                _drain(meter)
+        elapsed = time.perf_counter() - start
+    return off, n_accesses / elapsed
+
+
+def bench_fig7_slice() -> dict:
+    """End-to-end slice of the figure-7 pooling benchmark (CXL system)."""
+    from ..workloads.driver import PoolingDriver
+    from ..workloads.sysbench import SysbenchWorkload
+    from .harness import build_pooling_setup
+
+    workload = SysbenchWorkload(rows=2000)
+    setup = build_pooling_setup("cxl", n_instances=2, workload=workload)
+    driver = PoolingDriver(
+        setup.sim,
+        setup.instances,
+        workload.txn_fn("point_select"),
+        workers_per_instance=8,
+        warmup_txns=20,
+        measure_txns=150,
+    )
+    start = time.perf_counter()
+    result = driver.run()
+    wall_s = time.perf_counter() - start
+    events = setup.sim._seq
+    return {
+        "wall_s": round(wall_s, 4),
+        "qps": round(result.qps, 2),
+        "avg_latency_ns": round(result.avg_latency_ns, 1),
+        "events_scheduled": events,
+        "events_per_wall_second": round(events / wall_s),
+    }
+
+
+def check_equivalence(n_accesses: int = 20_000) -> None:
+    """Assert optimized and reference metering charge identical state."""
+    region_bytes = 1 << 20
+    opt, opt_meter = _build_mapped(True, region_bytes)
+    ref, ref_meter = _build_mapped(False, region_bytes)
+    # A mix of line-cached small reads (several sizes/alignments, some
+    # straddling lines) and burst reads, identical on both sides.
+    for i in range(n_accesses):
+        offset = (i * 4093) % (region_bytes - PAGE)
+        if not i % 97:
+            nbytes = PAGE
+        elif not i % 13:
+            nbytes = 200
+        else:
+            nbytes = 8 + (i % 3) * 61  # 8 / 69 / 130 B, may straddle lines
+        opt.read(offset, nbytes)
+        ref.read(offset, nbytes)
+    if opt_meter.ns != ref_meter.ns:
+        raise AssertionError(
+            f"optimized metering diverged: ns {opt_meter.ns} != {ref_meter.ns}"
+        )
+    if opt_meter.counters != ref_meter.counters:
+        raise AssertionError("optimized metering diverged: counters differ")
+    opt_t = [(c.pipe_key, c.nbytes, c.base_ns) for c in opt_meter.transfers]
+    ref_t = [(c.pipe_key, c.nbytes, c.base_ns) for c in ref_meter.transfers]
+    if opt_t != ref_t:
+        raise AssertionError("optimized metering diverged: transfers differ")
+
+
+# ---------------------------------------------------------------------------
+# Harness entry points
+# ---------------------------------------------------------------------------
+
+
+def run_perf(quick: bool = False) -> dict:
+    """Run every perf benchmark; returns the BENCH_perf.json payload."""
+    scale = 0.2 if quick else 1.0
+    n_events = int(500_000 * scale)
+    n_accesses = int(300_000 * scale)
+    n_pages = int(100_000 * scale)
+
+    check_equivalence()
+
+    ev_ref = bench_event_loop(n_events, optimized=False)
+    ev_opt = bench_event_loop(n_events, optimized=True)
+    ma_ref = bench_metered_access(n_accesses, optimized=False)
+    ma_opt = bench_metered_access(n_accesses, optimized=True)
+    pb_ref = bench_page_burst(n_pages, optimized=False)
+    pb_opt = bench_page_burst(n_pages, optimized=True)
+    tr_off, tr_on = bench_tracer_overhead(n_accesses)
+    fig7 = bench_fig7_slice()
+
+    return {
+        "schema": 1,
+        "quick": quick,
+        "event_loop": {
+            "events_per_sec": round(ev_opt),
+            "reference_per_sec": round(ev_ref),
+            "speedup": round(ev_opt / ev_ref, 3),
+        },
+        "metered_access": {
+            "accesses_per_sec": round(ma_opt),
+            "reference_per_sec": round(ma_ref),
+            "speedup": round(ma_opt / ma_ref, 3),
+        },
+        "page_burst": {
+            "pages_per_sec": round(pb_opt),
+            "reference_per_sec": round(pb_ref),
+            "speedup": round(pb_opt / pb_ref, 3),
+        },
+        "tracer_overhead": {
+            "tracer_off_per_sec": round(tr_off),
+            "tracer_on_per_sec": round(tr_on),
+            "overhead_pct": round((tr_off / tr_on - 1.0) * 100, 1),
+        },
+        "fig7_slice": fig7,
+        "notes": (
+            "reference_per_sec re-measures the frozen pre-optimization "
+            "implementations in-process; speedups are machine-independent. "
+            "See PERFORMANCE.md."
+        ),
+    }
+
+
+def _repo_root() -> pathlib.Path:
+    for base in [pathlib.Path.cwd()] + list(pathlib.Path.cwd().parents):
+        if (base / "pyproject.toml").exists():
+            return base
+    return pathlib.Path.cwd()
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    argv = [a for a in argv if a != "--quick"]
+    min_speedup = 1.5
+    if "--min-speedup" in argv:
+        index = argv.index("--min-speedup")
+        min_speedup = float(argv[index + 1])
+        del argv[index : index + 2]
+    out_path = _repo_root() / "BENCH_perf.json"
+    if "--out" in argv:
+        index = argv.index("--out")
+        out_path = pathlib.Path(argv[index + 1])
+        del argv[index : index + 2]
+    if argv:
+        raise SystemExit(f"unknown perf option(s): {' '.join(argv)}")
+
+    report = run_perf(quick=quick)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"perf report -> {out_path}")
+    for key in ("event_loop", "metered_access", "page_burst"):
+        entry = report[key]
+        rate = next(v for k, v in entry.items() if k.endswith("_per_sec"))
+        print(f"  {key:16s} {rate:>12,}/s   {entry['speedup']:.2f}x vs pre-PR reference")
+    tr = report["tracer_overhead"]
+    print(
+        f"  {'tracer':16s} off {tr['tracer_off_per_sec']:,}/s  "
+        f"on {tr['tracer_on_per_sec']:,}/s  (+{tr['overhead_pct']}%)"
+    )
+    fig7 = report["fig7_slice"]
+    print(
+        f"  {'fig7 slice':16s} {fig7['wall_s']}s wall, qps={fig7['qps']}, "
+        f"{fig7['events_scheduled']} events "
+        f"({fig7['events_per_wall_second']:,}/wall-s)"
+    )
+
+    speedup = report["metered_access"]["speedup"]
+    if speedup < min_speedup:
+        print(
+            f"FAIL: metered-access speedup {speedup:.2f}x is below the "
+            f"{min_speedup:.2f}x gate (see PERFORMANCE.md)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: metered-access speedup {speedup:.2f}x >= {min_speedup:.2f}x gate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

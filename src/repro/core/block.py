@@ -82,17 +82,31 @@ _HDR_LRU_FLAG = 40
 
 
 def pool_bytes_needed(n_blocks: int) -> int:
-    """Extent size for a pool of ``n_blocks`` blocks."""
+    """Extent size for a pool of ``n_blocks`` blocks.
+
+    >>> pool_bytes_needed(8) == POOL_HEADER_SIZE + 8 * BLOCK_SIZE
+    True
+    """
     return POOL_HEADER_SIZE + n_blocks * BLOCK_SIZE
 
 
 def block_offset(index: int) -> int:
-    """Extent-relative offset of block ``index``'s metadata."""
+    """Extent-relative offset of block ``index``'s metadata.
+
+    >>> block_offset(0) == POOL_HEADER_SIZE
+    True
+    >>> block_offset(3) - block_offset(2) == BLOCK_SIZE
+    True
+    """
     return POOL_HEADER_SIZE + index * BLOCK_SIZE
 
 
 def block_data_offset(index: int) -> int:
-    """Extent-relative offset of block ``index``'s page data."""
+    """Extent-relative offset of block ``index``'s page data.
+
+    >>> block_data_offset(5) - block_offset(5) == BLOCK_META_SIZE
+    True
+    """
     return block_offset(index) + BLOCK_META_SIZE
 
 

@@ -68,18 +68,32 @@ class FlagSlab:
         self.n_entries = n_entries
         self.meter = meter
         self.config = config or LatencyConfig()
+        # Flag addresses are fixed at construction; precompute them so
+        # the per-access protocol checks (two flag reads per page get)
+        # index a list instead of redoing the bounds-checked arithmetic.
+        self._invalid_addrs = [
+            base + entry * FLAG_BYTES_PER_ENTRY + _INVALID
+            for entry in range(n_entries)
+        ]
+        self._removal_addrs = [
+            base + entry * FLAG_BYTES_PER_ENTRY + _REMOVAL
+            for entry in range(n_entries)
+        ]
+        self._flag_read_ns = self.config.cxl_switch_local_ns
         # Flags start clear.
         region.write(base, b"\x00" * (n_entries * FLAG_BYTES_PER_ENTRY))
 
     # -- addresses registered with the fusion server ---------------------------------
 
     def invalid_addr(self, entry: int) -> int:
-        self._check(entry)
-        return self.base + entry * FLAG_BYTES_PER_ENTRY + _INVALID
+        if entry < 0 or entry >= self.n_entries:
+            raise IndexError(f"flag entry {entry} out of range")
+        return self._invalid_addrs[entry]
 
     def removal_addr(self, entry: int) -> int:
-        self._check(entry)
-        return self.base + entry * FLAG_BYTES_PER_ENTRY + _REMOVAL
+        if entry < 0 or entry >= self.n_entries:
+            raise IndexError(f"flag entry {entry} out of range")
+        return self._removal_addrs[entry]
 
     # -- node-side reads (uncached CXL loads) ------------------------------------------
 
@@ -100,8 +114,10 @@ class FlagSlab:
         )
 
     def _read_flag(self, addr: int) -> bool:
-        self.meter.charge_ns(self.config.cxl_switch_local_ns)
-        self.meter.count("flag_reads")
+        meter = self.meter
+        meter.ns += self._flag_read_ns
+        counters = meter.counters
+        counters["flag_reads"] = counters.get("flag_reads", 0.0) + 1.0
         tracer = obs_active()
         if tracer is not None:
             tracer.count("coh.flag_reads")

@@ -70,6 +70,12 @@ class CxlBufferPool(BufferPool):
         self._pins: dict[int, int] = {}
         self._dirty: set[int] = set()
         self._touch_clock = 0
+        # BlockMeta/OffsetAccessor are stateless views over (mem, index);
+        # memoize them instead of allocating one per metadata access —
+        # meta() is on every pool hot path (get/evict/LRU rewire).
+        self._meta_cache: list[Optional[BlockMeta]] = [None] * n_blocks
+        self._accessor_cache: list[Optional[OffsetAccessor]] = [None] * n_blocks
+        self._data_offsets = [block_data_offset(i) for i in range(n_blocks)]
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -107,7 +113,10 @@ class CxlBufferPool(BufferPool):
     def meta(self, index: int) -> BlockMeta:
         if not 0 <= index < self.n_blocks:
             raise IndexError(f"block {index} out of range")
-        return BlockMeta(self.mem, index)
+        meta = self._meta_cache[index]
+        if meta is None:
+            meta = self._meta_cache[index] = BlockMeta(self.mem, index)
+        return meta
 
     def iter_metas(self) -> Iterator[BlockMeta]:
         for index in range(self.n_blocks):
@@ -117,9 +126,12 @@ class CxlBufferPool(BufferPool):
         return self._block_of.get(page_id)
 
     def _view(self, page_id: int, index: int) -> PageView:
-        return PageView(
-            page_id, OffsetAccessor(self.mem, block_data_offset(index)), self
-        )
+        accessor = self._accessor_cache[index]
+        if accessor is None:
+            accessor = self._accessor_cache[index] = OffsetAccessor(
+                self.mem, self._data_offsets[index]
+            )
+        return PageView(page_id, accessor, self)
 
     # -- BufferPool interface ------------------------------------------------------------
 

@@ -138,10 +138,7 @@ class HwCoherentSharedPool(BufferPool):
     def _charge(self, offset: int, nbytes: int, write: bool) -> None:
         first = offset // CACHE_LINE
         last = (offset + max(nbytes, 1) - 1) // CACHE_LINE
-        misses = 0
-        for line in range(first, last + 1):
-            if not self.line_cache.touch(self.region.name, line):
-                misses += 1
+        _, misses = self.line_cache.touch_range(self.region.name, first, last)
         lines = last - first + 1
         hit_cost = (lines - misses) * 18.0
         miss_cost = misses * self.config.cxl_switch_local_ns

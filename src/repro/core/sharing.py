@@ -66,13 +66,19 @@ class CachedPageAccessor:
 
 
 class _NodePageMeta:
-    """One entry of the node's page metadata buffer."""
+    """One entry of the node's page metadata buffer.
 
-    __slots__ = ("entry", "data_offset")
+    Caches the page's :class:`CachedPageAccessor`: the accessor is a
+    pure (cache, region, data_offset) view, so it stays valid until the
+    fusion server recycles the slot and ``data_offset`` changes.
+    """
+
+    __slots__ = ("entry", "data_offset", "accessor")
 
     def __init__(self, entry: int, data_offset: int) -> None:
         self.entry = entry
         self.data_offset = data_offset
+        self.accessor: Optional[CachedPageAccessor] = None
 
 
 class SharedCxlBufferPool(BufferPool):
@@ -127,6 +133,7 @@ class SharedCxlBufferPool(BufferPool):
                 self.flag_slab.clear_removal(meta.entry)
                 self.cpu_cache.invalidate(self.region, meta.data_offset, PAGE_SIZE)
                 meta.data_offset = self._request_page_rpc(page_id, meta.entry)
+                meta.accessor = None  # the cached view points at the old slot
                 if tracer is not None:
                     tracer.count("sharing.removals_observed")
             saw_invalid = self.flag_slab.read_invalid(meta.entry)
@@ -154,11 +161,12 @@ class SharedCxlBufferPool(BufferPool):
                 )
         self.fusion.note_touch(page_id)
         self._pins[page_id] = self._pins.get(page_id, 0) + 1
-        return PageView(
-            page_id,
-            CachedPageAccessor(self.cpu_cache, self.region, meta.data_offset),
-            self,
-        )
+        accessor = meta.accessor
+        if accessor is None:
+            accessor = meta.accessor = CachedPageAccessor(
+                self.cpu_cache, self.region, meta.data_offset
+            )
+        return PageView(page_id, accessor, self)
 
     def new_page(self, page_id: int, page_type: int, level: int = 0) -> PageView:
         raise NotImplementedError(
@@ -406,7 +414,6 @@ class MultiPrimaryNode:
         except BaseException:
             self._unlock_write(leaf_id)
             raise
-        tracer = obs_active()
         if tracer is not None:
             tracer.emit("lock", "write_release", node=self.node_id, page=leaf_id)
         self._unlock_write(leaf_id)

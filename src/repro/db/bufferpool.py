@@ -132,6 +132,9 @@ class LocalBufferPool(BufferPool):
         self.capacity_pages = capacity_pages
         self._frame_of: dict[int, int] = {}
         self._free_frames = list(range(capacity_pages - 1, -1, -1))
+        # Accessors are stateless (mapped, base) views; one per frame for
+        # the pool's lifetime instead of one per get_page.
+        self._accessors: list[Optional[OffsetAccessor]] = [None] * capacity_pages
         self._lru: OrderedDict[int, None] = OrderedDict()
         self._dirty: set[int] = set()
         self._pins: dict[int, int] = {}
@@ -220,7 +223,12 @@ class LocalBufferPool(BufferPool):
     def _view(self, page_id: int, frame: Optional[int] = None) -> PageView:
         if frame is None:
             frame = self._frame_of[page_id]
-        return PageView(page_id, OffsetAccessor(self.mapped, frame * PAGE_SIZE), self)
+        accessor = self._accessors[frame]
+        if accessor is None:
+            accessor = self._accessors[frame] = OffsetAccessor(
+                self.mapped, frame * PAGE_SIZE
+            )
+        return PageView(page_id, accessor, self)
 
     def _touch(self, page_id: int) -> None:
         self._lru[page_id] = None

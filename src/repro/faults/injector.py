@@ -52,6 +52,18 @@ class InjectedCrash(Exception):
 class FaultInjector:
     """Counts crash-point hits; crashes at an armed (point, hit) pair.
 
+    >>> injector = FaultInjector().arm("demo.point", hit=2)
+    >>> with injector:
+    ...     crash_point("demo.point")   # first hit: recorded, survives
+    ...     crash_point("demo.point")   # armed hit: the power fails here
+    Traceback (most recent call last):
+        ...
+    repro.faults.injector.InjectedCrash: injected crash at 'demo.point' (hit 2)
+    >>> injector.trace
+    [('demo.point', 1), ('demo.point', 2)]
+    >>> active() is None                # the context manager uninstalled
+    True
+
     Modes, freely combined:
 
     * **trace** (always on): every hit is appended to :attr:`trace` as

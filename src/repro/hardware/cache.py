@@ -34,7 +34,16 @@ __all__ = ["LineCacheModel", "CpuCache"]
 
 
 class LineCacheModel(LineCacheProtocol):
-    """Timing-only LRU cache over (region, line) keys."""
+    """Timing-only LRU cache over (region, line) keys.
+
+    >>> cache = LineCacheModel(capacity_bytes=1024)
+    >>> cache.touch("dram", 0)        # cold: miss, line inserted
+    False
+    >>> cache.touch("dram", 0)        # warm: hit
+    True
+    >>> cache.touch_range("dram", 0, 3)   # 1 warm line + 3 cold ones
+    (1, 3)
+    """
 
     def __init__(self, capacity_bytes: int = 32 << 20) -> None:
         if capacity_bytes < CACHE_LINE:
@@ -57,6 +66,47 @@ class LineCacheModel(LineCacheProtocol):
         if len(lines) > self.capacity_lines:
             lines.popitem(last=False)
         return False
+
+    def touch_range(
+        self, region_name: str, first_line: int, last_line: int
+    ) -> tuple[int, int]:
+        """Coalesced probe of ``first_line..last_line`` inclusive.
+
+        Exactly equivalent to calling :meth:`touch` per line (same LRU
+        moves, same insertion and eviction order), but with the dict,
+        bound methods and capacity hoisted out of the loop — the single
+        hottest call in every metered small access.
+        """
+        lines = self._lines
+        if first_line == last_line:  # the common single-line access
+            key = (region_name, first_line)
+            if key in lines:
+                lines.move_to_end(key)
+                self.hits += 1
+                return 1, 0
+            lines[key] = None
+            if len(lines) > self.capacity_lines:
+                lines.popitem(last=False)
+            self.misses += 1
+            return 0, 1
+        move_to_end = lines.move_to_end
+        popitem = lines.popitem
+        capacity = self.capacity_lines
+        hits = 0
+        misses = 0
+        for line in range(first_line, last_line + 1):
+            key = (region_name, line)
+            if key in lines:
+                move_to_end(key)
+                hits += 1
+            else:
+                misses += 1
+                lines[key] = None
+                if len(lines) > capacity:
+                    popitem(last=False)
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
 
     def drop_region(self, region_name: str) -> None:
         self._lines = OrderedDict(
@@ -117,6 +167,14 @@ class CpuCache:
     def read(self, region: MemoryRegion, offset: int, nbytes: int) -> bytes:
         """Read through the cache; cached lines win over backing memory."""
         self._regions[region.name] = region
+        if nbytes <= 0:
+            return b""
+        line = offset // CACHE_LINE
+        if offset + nbytes <= (line + 1) * CACHE_LINE:
+            # Single-line access (flags, lock words, LRU links): skip the
+            # span generator and the bytearray assembly.
+            line_off = offset - line * CACHE_LINE
+            return self._load_entry(region, line)[0][line_off : line_off + nbytes]
         out = bytearray()
         for line, line_off, span in _line_spans(offset, nbytes):
             data = self._load_line(region, line)
@@ -126,8 +184,20 @@ class CpuCache:
     def write(self, region: MemoryRegion, offset: int, data: bytes) -> None:
         """Write into the cache only; backing memory unchanged until flush."""
         self._regions[region.name] = region
+        nbytes = len(data)
+        if nbytes <= 0:
+            return
+        line = offset // CACHE_LINE
+        if offset + nbytes <= (line + 1) * CACHE_LINE:
+            entry = self._load_entry(region, line)
+            line_off = offset - line * CACHE_LINE
+            buf = bytearray(entry[0])
+            buf[line_off : line_off + nbytes] = data
+            entry[0] = bytes(buf)
+            entry[1] = True
+            return
         pos = 0
-        for line, line_off, span in _line_spans(offset, len(data)):
+        for line, line_off, span in _line_spans(offset, nbytes):
             entry = self._load_entry(region, line)
             buf = bytearray(entry[0])
             buf[line_off : line_off + span] = data[pos : pos + span]
@@ -143,7 +213,7 @@ class CpuCache:
         number of dirty lines written back.
         """
         written = 0
-        for line, _, _ in _line_spans(offset, nbytes):
+        for line in _line_range(offset, nbytes):
             # Crash between line flushes: lines already flushed are in
             # the backing region, the rest die dirty in this cache — a
             # torn line-set flush, the hazard the per-line write-release
@@ -171,7 +241,7 @@ class CpuCache:
         per-line invalidation cost.
         """
         dropped = 0
-        for line, _, _ in _line_spans(offset, nbytes):
+        for line in _line_range(offset, nbytes):
             if self._lines.pop((region.name, line), None) is not None:
                 dropped += 1
         tracer = obs_active()
@@ -186,7 +256,7 @@ class CpuCache:
     def dirty_lines(self, region: MemoryRegion, offset: int, nbytes: int) -> int:
         """How many lines in the range are dirty (diagnostics/tests)."""
         count = 0
-        for line, _, _ in _line_spans(offset, nbytes):
+        for line in _line_range(offset, nbytes):
             entry = self._lines.get((region.name, line))
             if entry is not None and entry[1]:
                 count += 1
@@ -248,6 +318,13 @@ class CpuCache:
         self.meter.charge_ns(lines * self.miss_ns)
         if self.pipe_key is not None:
             self.meter.charge_transfer(self.pipe_key, lines * CACHE_LINE)
+
+
+def _line_range(offset: int, nbytes: int) -> range:
+    """Line indices covering [offset, offset+nbytes); empty when nbytes<=0."""
+    if nbytes <= 0:
+        return range(0)
+    return range(offset // CACHE_LINE, (offset + nbytes - 1) // CACHE_LINE + 1)
 
 
 def _line_spans(offset: int, nbytes: int):

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..obs.trace import active as obs_active
-from ..sim.latency import CACHE_LINE
+from ..sim.latency import CACHE_LINE, LatencyTable
 
 __all__ = [
     "MemoryRegion",
@@ -55,7 +55,8 @@ class MemoryRegion:
                 f"region {self.name!r} lost its contents in a power failure; "
                 "call power_restore() before reuse"
             )
-        self._check(offset, nbytes)
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            self._check(offset, nbytes)
         return bytes(self._data[offset : offset + nbytes])
 
     def write(self, offset: int, data: bytes) -> None:
@@ -64,8 +65,10 @@ class MemoryRegion:
                 f"region {self.name!r} lost its contents in a power failure; "
                 "call power_restore() before reuse"
             )
-        self._check(offset, len(data))
-        self._data[offset : offset + len(data)] = data
+        nbytes = len(data)
+        if offset < 0 or offset + nbytes > self.size:
+            self._check(offset, nbytes)
+        self._data[offset : offset + nbytes] = data
 
     def power_fail(self) -> None:
         """Simulate power loss. Volatile regions are poisoned until restored.
@@ -100,13 +103,48 @@ class MemoryRegion:
             )
 
 
-@dataclass(frozen=True)
 class TransferCharge:
-    """A pending bandwidth charge to settle against a named pipe."""
+    """A pending bandwidth charge to settle against a named pipe.
 
-    pipe_key: str
-    nbytes: int
-    base_ns: float = 0.0
+    A plain slotted record rather than a frozen dataclass: one of these
+    is allocated per metered device transfer, and ``object.__setattr__``
+    (what frozen dataclasses pay per field) showed up in the hot-path
+    profile. Treat instances as immutable all the same.
+
+    >>> TransferCharge("cxl", 64) == TransferCharge("cxl", 64, 0.0)
+    True
+    """
+
+    __slots__ = ("pipe_key", "nbytes", "base_ns")
+
+    def __init__(self, pipe_key: str, nbytes: int, base_ns: float = 0.0) -> None:
+        self.pipe_key = pipe_key
+        self.nbytes = nbytes
+        self.base_ns = base_ns
+
+    def __repr__(self) -> str:
+        return (
+            f"TransferCharge(pipe_key={self.pipe_key!r}, "
+            f"nbytes={self.nbytes!r}, base_ns={self.base_ns!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransferCharge):
+            return NotImplemented
+        return (
+            self.pipe_key == other.pipe_key
+            and self.nbytes == other.nbytes
+            and self.base_ns == other.base_ns
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pipe_key, self.nbytes, self.base_ns))
+
+
+# Memoized "<pipe_key>_bytes" / "<pipe_key>_ops" counter names: the same
+# handful of pipe keys recur millions of times, and building the strings
+# per charge was measurable.
+_PIPE_COUNTER_KEYS: dict[str, tuple[str, str]] = {}
 
 
 class AccessMeter:
@@ -132,8 +170,16 @@ class AccessMeter:
         self, pipe_key: str, nbytes: int, base_ns: float = 0.0
     ) -> None:
         self.transfers.append(TransferCharge(pipe_key, nbytes, base_ns))
-        self.count(pipe_key + "_bytes", nbytes)
-        self.count(pipe_key + "_ops", 1)
+        keys = _PIPE_COUNTER_KEYS.get(pipe_key)
+        if keys is None:
+            keys = _PIPE_COUNTER_KEYS[pipe_key] = (
+                pipe_key + "_bytes",
+                pipe_key + "_ops",
+            )
+        counters = self.counters
+        bytes_key, ops_key = keys
+        counters[bytes_key] = counters.get(bytes_key, 0.0) + nbytes
+        counters[ops_key] = counters.get(ops_key, 0.0) + 1
 
     def count(self, key: str, amount: float = 1.0) -> None:
         self.counters[key] = self.counters.get(key, 0.0) + amount
@@ -169,7 +215,34 @@ class MemoryTiming:
 
 
 class MappedMemory:
-    """A metered, cache-modelled window onto a :class:`MemoryRegion`."""
+    """A metered, cache-modelled window onto a :class:`MemoryRegion`.
+
+    Small accesses go through the per-line timing cache (hits are nearly
+    free, misses fetch whole lines over the interconnect); accesses at or
+    above ``timing.burst_threshold`` use the streamed burst model and
+    move every byte. All derived timing constants are precomputed here:
+    the burst-latency lines become :class:`~repro.sim.latency.LatencyTable`
+    lookups and the per-region counter names become interned strings, so
+    the per-access cost is dict probes, not arithmetic and string
+    building.
+
+    >>> from repro.hardware.cache import LineCacheModel
+    >>> region = MemoryRegion("demo", 4096, volatile=False)
+    >>> meter = AccessMeter()
+    >>> timing = MemoryTiming(
+    ...     miss_ns=100.0, hit_ns=1.0,
+    ...     read_burst_base_ns=50.0, read_burst_ns_per_byte=0.1,
+    ...     write_burst_base_ns=50.0, write_burst_ns_per_byte=0.1,
+    ...     pipe_key="cxl")
+    >>> mem = MappedMemory(region, timing, meter, LineCacheModel(1024), "cxl")
+    >>> mem.write(0, b"hello")           # cold line: one miss, one line moved
+    >>> mem.read(0, 5)                   # warm line: a hit, no link traffic
+    b'hello'
+    >>> meter.ns                         # miss (100) + hit (1)
+    101.0
+    >>> (meter.counters["cxl_bytes"], meter.counters["cxl_ops"])
+    (64.0, 1.0)
+    """
 
     def __init__(
         self,
@@ -184,6 +257,37 @@ class MappedMemory:
         self.meter = meter
         self.line_cache = line_cache
         self.counter_key = counter_key
+        # Hot-path constants (MemoryTiming is frozen; region names and
+        # counter keys never change after construction).
+        self._region_name = region.name
+        self._burst_threshold = timing.burst_threshold
+        self._miss_ns = timing.miss_ns
+        self._hit_ns = timing.hit_ns
+        self._pipe_key = timing.pipe_key
+        self._pipe_base_ns = timing.pipe_base_ns
+        self._read_table = LatencyTable(
+            timing.read_burst_base_ns, timing.read_burst_ns_per_byte
+        )
+        self._write_table = LatencyTable(
+            timing.write_burst_base_ns, timing.write_burst_ns_per_byte
+        )
+        self._touched_key = counter_key + "_touched_bytes"
+        self._trace_burst_key = f"mem.{counter_key}.burst_bytes"
+        self._trace_hits_key = f"mem.{counter_key}.line_hits"
+        self._trace_misses_key = f"mem.{counter_key}.line_misses"
+        self._trace_device_key = f"mem.{counter_key}.device_bytes"
+        if timing.pipe_key is not None:
+            self._pipe_bytes_key = timing.pipe_key + "_bytes"
+            self._pipe_ops_key = timing.pipe_key + "_ops"
+            # Single-line misses dominate the charge stream; they are all
+            # the same immutable (pipe, 64 B, base) value, so one shared
+            # instance replaces an allocation per miss.
+            self._line_charge = TransferCharge(
+                timing.pipe_key, CACHE_LINE, timing.pipe_base_ns
+            )
+        else:
+            self._pipe_bytes_key = self._pipe_ops_key = None
+            self._line_charge = None
 
     # -- metered access --------------------------------------------------------
 
@@ -205,47 +309,53 @@ class MappedMemory:
     # -- cost model -------------------------------------------------------------
 
     def _charge(self, offset: int, nbytes: int, write: bool) -> None:
-        timing = self.timing
         meter = self.meter
         tracer = obs_active()
-        if nbytes >= timing.burst_threshold:
-            if write:
-                meter.charge_ns(
-                    timing.write_burst_base_ns
-                    + nbytes * timing.write_burst_ns_per_byte
-                )
-            else:
-                meter.charge_ns(
-                    timing.read_burst_base_ns
-                    + nbytes * timing.read_burst_ns_per_byte
-                )
+        if nbytes >= self._burst_threshold:
+            table = self._write_table if write else self._read_table
+            cache = table._cache
+            ns = cache.get(nbytes)
+            if ns is None:
+                ns = cache[nbytes] = table.base_ns + nbytes * table.ns_per_byte
+            meter.ns += ns
             device_bytes = nbytes  # streamed: every byte crosses the link
             if tracer is not None:
-                tracer.count(f"mem.{self.counter_key}.burst_bytes", nbytes)
+                tracer.count(self._trace_burst_key, nbytes)
         else:
             first_line = offset // CACHE_LINE
-            last_line = (offset + max(nbytes, 1) - 1) // CACHE_LINE
-            hits = 0
-            misses = 0
-            for line in range(first_line, last_line + 1):
-                if self.line_cache.touch(self.region.name, line):
-                    hits += 1
-                else:
-                    misses += 1
-            meter.charge_ns(misses * timing.miss_ns + hits * timing.hit_ns)
+            last_line = (offset + nbytes - 1) // CACHE_LINE if nbytes > 1 else first_line
+            hits, misses = self.line_cache.touch_range(
+                self._region_name, first_line, last_line
+            )
+            meter.ns += misses * self._miss_ns + hits * self._hit_ns
             # Only cache misses generate device/link traffic, at line
             # granularity — a hot B-tree root costs the CXL link nothing.
             device_bytes = misses * CACHE_LINE
             if tracer is not None:
                 if hits:
-                    tracer.count(f"mem.{self.counter_key}.line_hits", hits)
+                    tracer.count(self._trace_hits_key, hits)
                 if misses:
-                    tracer.count(f"mem.{self.counter_key}.line_misses", misses)
-        meter.count(self.counter_key + "_touched_bytes", nbytes)
-        if tracer is not None and device_bytes:
-            tracer.count(f"mem.{self.counter_key}.device_bytes", device_bytes)
-        if timing.pipe_key is not None and device_bytes:
-            meter.charge_transfer(timing.pipe_key, device_bytes, timing.pipe_base_ns)
+                    tracer.count(self._trace_misses_key, misses)
+        counters = meter.counters
+        key = self._touched_key
+        counters[key] = counters.get(key, 0.0) + nbytes
+        if device_bytes:
+            if tracer is not None:
+                tracer.count(self._trace_device_key, device_bytes)
+            pipe_key = self._pipe_key
+            if pipe_key is not None:
+                # Inlined AccessMeter.charge_transfer with precomputed
+                # counter keys — this runs once per device transfer.
+                if device_bytes == CACHE_LINE:
+                    meter.transfers.append(self._line_charge)
+                else:
+                    meter.transfers.append(
+                        TransferCharge(pipe_key, device_bytes, self._pipe_base_ns)
+                    )
+                key = self._pipe_bytes_key
+                counters[key] = counters.get(key, 0.0) + device_bytes
+                key = self._pipe_ops_key
+                counters[key] = counters.get(key, 0.0) + 1
 
 
 class WindowedMemory:
@@ -294,6 +404,23 @@ class LineCacheProtocol:
 
     def touch(self, region_name: str, line: int) -> bool:  # pragma: no cover
         raise NotImplementedError
+
+    def touch_range(
+        self, region_name: str, first_line: int, last_line: int
+    ) -> tuple[int, int]:
+        """Touch ``first_line..last_line`` inclusive; return (hits, misses).
+
+        Default implementation probes line by line via :meth:`touch`, so
+        custom timing caches only need to override ``touch``; the
+        concrete :class:`~repro.hardware.cache.LineCacheModel` overrides
+        this with a coalesced probe.
+        """
+        hits = 0
+        touch = self.touch
+        for line in range(first_line, last_line + 1):
+            if touch(region_name, line):
+                hits += 1
+        return hits, (last_line - first_line + 1) - hits
 
     def drop_region(self, region_name: str) -> None:  # pragma: no cover
         raise NotImplementedError

@@ -62,7 +62,17 @@ class Histogram:
 
 
 class CounterRegistry:
-    """A flat registry of named counters and histograms."""
+    """A flat registry of named counters and histograms.
+
+    >>> registry = CounterRegistry()
+    >>> registry.add("pool.hits")
+    >>> registry.add("pool.hits", 2)
+    >>> registry.snapshot()
+    {'pool.hits': 3.0}
+    >>> registry.observe("flush.ns", 1200.0)
+    >>> registry.histogram("flush.ns").count
+    1
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, float] = {}

@@ -59,7 +59,23 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded event rings + a counter registry, installable globally."""
+    """Bounded event rings + a counter registry, installable globally.
+
+    Used as a context manager, installation and removal are scoped —
+    instrumented call sites see the tracer only inside the ``with``:
+
+    >>> with Tracer() as tracer:
+    ...     active() is tracer
+    ...     tracer.emit("pool", "evict", page=7)
+    ...     tracer.count("pool.evictions")
+    True
+    >>> active() is None
+    True
+    >>> [event.key for event in tracer.events()]
+    ['pool.evict']
+    >>> tracer.counters.snapshot()
+    {'pool.evictions': 1.0}
+    """
 
     def __init__(
         self,

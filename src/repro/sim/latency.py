@@ -21,9 +21,75 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["LatencyConfig", "CostModel", "CACHE_LINE"]
+__all__ = ["LatencyConfig", "CostModel", "LatencyTable", "transfer_tables", "CACHE_LINE"]
 
 CACHE_LINE = 64
+
+# Size classes the access layer actually charges: every power of two from
+# one cache line up to one 16 KB page. Odd sizes fall back to the exact
+# formula and are memoized on first use.
+_DEFAULT_SIZE_CLASSES = tuple(CACHE_LINE << i for i in range(9))  # 64 .. 16384
+
+
+class LatencyTable:
+    """Memoized ``base + nbytes * slope`` lookup for one transfer line.
+
+    ``MappedMemory`` charges the same handful of sizes (64 B lines,
+    16 KB pages, a few record sizes) millions of times per benchmark.
+    This table precomputes the common size classes and memoizes every
+    other size on first use, so the steady-state cost of a latency
+    lookup is one dict probe instead of float arithmetic through two
+    attribute loads.
+
+    The stored value is bit-identical to evaluating the formula, by
+    construction — :meth:`ns` computes ``base_ns + nbytes * ns_per_byte``
+    with the exact expression the :class:`LatencyConfig` accessors use,
+    so swapping a table in for the formula cannot change simulated time.
+
+    >>> config = LatencyConfig()
+    >>> table = LatencyTable(config.cxl_read_base_ns, config.cxl_read_ns_per_byte)
+    >>> table.ns(4096) == config.cxl_read_ns(4096)
+    True
+    """
+
+    __slots__ = ("base_ns", "ns_per_byte", "_cache")
+
+    def __init__(
+        self,
+        base_ns: float,
+        ns_per_byte: float,
+        sizes: tuple[int, ...] = _DEFAULT_SIZE_CLASSES,
+    ) -> None:
+        self.base_ns = base_ns
+        self.ns_per_byte = ns_per_byte
+        self._cache: dict[int, float] = {
+            nbytes: base_ns + nbytes * ns_per_byte for nbytes in sizes
+        }
+
+    def ns(self, nbytes: int) -> float:
+        """Latency of a transfer of ``nbytes`` (memoized)."""
+        cache = self._cache
+        value = cache.get(nbytes)
+        if value is None:
+            value = cache[nbytes] = self.base_ns + nbytes * self.ns_per_byte
+        return value
+
+
+def transfer_tables(config: "LatencyConfig") -> dict[str, LatencyTable]:
+    """The four Table-2 transfer lines as precomputed latency tables.
+
+    >>> tables = transfer_tables(LatencyConfig())
+    >>> sorted(tables)
+    ['cxl_read', 'cxl_write', 'rdma_read', 'rdma_write']
+    >>> tables["rdma_write"].ns(64) == LatencyConfig().rdma_write_ns(64)
+    True
+    """
+    return {
+        "rdma_read": LatencyTable(config.rdma_read_base_ns, config.rdma_read_ns_per_byte),
+        "rdma_write": LatencyTable(config.rdma_write_base_ns, config.rdma_write_ns_per_byte),
+        "cxl_read": LatencyTable(config.cxl_read_base_ns, config.cxl_read_ns_per_byte),
+        "cxl_write": LatencyTable(config.cxl_write_base_ns, config.cxl_write_ns_per_byte),
+    }
 
 
 @dataclass(frozen=True)

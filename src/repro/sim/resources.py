@@ -30,6 +30,15 @@ class Pipe:
     ``max(now, tail)`` where ``tail`` is when the previous transfer ends.
     Completion time additionally includes ``base_ns`` of fixed latency
     that does *not* occupy the pipe (protocol overhead, RTT).
+
+    >>> sim = Simulator()
+    >>> pipe = Pipe(sim, bytes_per_second=1e9)   # 1 GB/s = 1 ns per byte
+    >>> pipe.occupancy_ns(64)
+    64
+    >>> done = pipe.transfer(64)
+    >>> sim.run()
+    >>> (sim.now, done.triggered, pipe.total_bytes, pipe.backlog_ns)
+    (64, True, 64, 0)
     """
 
     def __init__(
@@ -66,6 +75,31 @@ class Pipe:
         self._window_bytes += nbytes
         done = Event(self.sim)
         done.succeed(delay=(self._tail - now) + int(base_ns))
+        return done
+
+    def transfer_batched(self, nbytes: int, occupancy_ns: int, count: int = 1) -> Event:
+        """Issue ``count`` back-to-back transfers as one completion event.
+
+        ``occupancy_ns`` must be the *sum of the per-transfer occupancies*
+        (``sum(occupancy_ns(n_i))``), not ``occupancy_ns(sum(n_i))`` —
+        occupancy truncates to integer nanoseconds per transfer, so the
+        two differ, and the batch must advance the pipe tail exactly as
+        the individual transfers would have. Used by the charge settler
+        to issue one simulation event per pipe instead of one per charge;
+        completion time, ``total_bytes`` and ``total_transfers`` are
+        identical to issuing the transfers individually at the same
+        instant.
+        """
+        if nbytes < 0 or occupancy_ns < 0:
+            raise SimError("negative batched transfer")
+        now = self.sim.now
+        start = now if now > self._tail else self._tail
+        self._tail = start + occupancy_ns
+        self.total_bytes += nbytes
+        self.total_transfers += count
+        self._window_bytes += nbytes
+        done = Event(self.sim)
+        done.succeed(delay=self._tail - now)
         return done
 
     @property

@@ -1,0 +1,57 @@
+"""The perf-regression harness itself: equivalence, benches, CLI.
+
+The harness's speedup gate (``--min-speedup``, default 1.5) is enforced
+by the dedicated CI perf step at full scale. Here we run the pieces at
+small scale and use a deliberately loose gate — enough to catch a
+reverted optimization or a broken bench, robust to a noisy test runner.
+"""
+
+import json
+
+from repro.bench.perf import (
+    bench_event_loop,
+    bench_metered_access,
+    bench_page_burst,
+    bench_tracer_overhead,
+    check_equivalence,
+    main,
+)
+
+
+def test_check_equivalence_passes():
+    # Optimized metering charges byte-identical ns/counters/transfers
+    # to the frozen pre-optimization reference implementation.
+    check_equivalence(n_accesses=5_000)
+
+
+def test_individual_benches_return_rates():
+    assert bench_event_loop(2_000, optimized=True) > 0
+    assert bench_event_loop(2_000, optimized=False) > 0
+    assert bench_metered_access(2_000, optimized=True) > 0
+    assert bench_metered_access(2_000, optimized=False) > 0
+    assert bench_page_burst(500, optimized=True) > 0
+    assert bench_page_burst(500, optimized=False) > 0
+    off, on = bench_tracer_overhead(2_000)
+    assert off > 0 and on > 0
+
+
+def test_perf_cli_writes_report(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    code = main(["--quick", "--min-speedup", "1.1", "--out", str(out)])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == 1 and report["quick"] is True
+    for key in ("event_loop", "metered_access", "page_burst"):
+        assert report[key]["speedup"] > 0
+        assert report[key]["reference_per_sec"] > 0
+    assert report["metered_access"]["speedup"] >= 1.1
+    fig7 = report["fig7_slice"]
+    assert fig7["qps"] > 0 and fig7["events_scheduled"] > 0
+    assert report["tracer_overhead"]["tracer_off_per_sec"] > 0
+
+
+def test_perf_cli_rejects_unknown_options(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit, match="unknown perf option"):
+        main(["--frobnicate"])

@@ -1,0 +1,77 @@
+"""Kernel scheduling guards: no event may fire in the simulated past."""
+
+import pytest
+
+from repro.sim.core import Simulator, SimError
+from repro.sim.resources import Pipe
+
+
+def test_succeed_rejects_negative_delay():
+    # The bug this guards against: a negative delay silently scheduled an
+    # event before `now`, reordering work that had already happened.
+    sim = Simulator()
+    sim.run_process(iter_timeout(sim, 100))
+    event = sim.event()
+    with pytest.raises(SimError, match="negative delay"):
+        event.succeed(delay=-1)
+    # The failed call must not half-trigger the event.
+    assert not event.triggered
+    event.succeed("ok", delay=5)
+    sim.run()
+    assert sim.now == 105 and event.value == "ok"
+
+
+def iter_timeout(sim, delay):
+    yield sim.timeout(delay)
+
+
+def test_succeed_zero_delay_still_fine():
+    sim = Simulator()
+    event = sim.event().succeed("now")
+    sim.run()
+    assert sim.now == 0 and event.value == "now"
+
+
+def test_timeout_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimError, match="negative timeout"):
+        sim.timeout(-10)
+
+
+def test_double_succeed_rejected():
+    sim = Simulator()
+    event = sim.event().succeed()
+    with pytest.raises(SimError, match="already triggered"):
+        event.succeed()
+
+
+def test_transfer_batched_rejects_negative():
+    sim = Simulator()
+    pipe = Pipe(sim, 1e9)
+    with pytest.raises(SimError, match="negative batched"):
+        pipe.transfer_batched(-1, 0)
+    with pytest.raises(SimError, match="negative batched"):
+        pipe.transfer_batched(64, -5)
+
+
+def test_transfer_batched_matches_individual_transfers():
+    # The settler's batching contract: summed per-transfer occupancies,
+    # one event — identical tail, totals and completion time.
+    sim_a = Simulator()
+    pipe_a = Pipe(sim_a, 3e9)
+    sizes = [100, 64, 7, 4096]
+    events = [pipe_a.transfer(n) for n in sizes]
+    done_a = sim_a.all_of(events)
+    sim_a.run()
+
+    sim_b = Simulator()
+    pipe_b = Pipe(sim_b, 3e9)
+    occupancy = sum(pipe_b.occupancy_ns(n) for n in sizes)
+    done_b = pipe_b.transfer_batched(sum(sizes), occupancy, count=len(sizes))
+    sim_b.run()
+
+    assert done_a.triggered and done_b.triggered
+    assert sim_a.now == sim_b.now
+    assert pipe_a.total_bytes == pipe_b.total_bytes
+    assert pipe_a.total_transfers == pipe_b.total_transfers
+    assert pipe_a.backlog_ns == pipe_b.backlog_ns

@@ -1,0 +1,42 @@
+"""Run the API-reference doctests as part of tier-1.
+
+Every example in a docstring is executable documentation; if it drifts
+from the code, this fails. CI additionally runs the full
+``pytest --doctest-modules src/repro`` sweep; this curated list keeps
+the guarantee inside the plain test run too.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.block
+import repro.faults.injector
+import repro.hardware.cache
+import repro.hardware.memory
+import repro.obs.counters
+import repro.obs.trace
+import repro.sim.core
+import repro.sim.latency
+import repro.sim.resources
+
+DOCUMENTED_MODULES = [
+    repro.sim.core,
+    repro.sim.latency,
+    repro.sim.resources,
+    repro.hardware.memory,
+    repro.hardware.cache,
+    repro.core.block,
+    repro.obs.trace,
+    repro.obs.counters,
+    repro.faults.injector,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0
