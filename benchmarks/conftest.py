@@ -4,10 +4,16 @@ Every benchmark regenerates one of the paper's tables or figures,
 prints it (visible with ``-s``), saves it under ``benchmarks/results/``
 and asserts the paper's qualitative shape. Absolute numbers belong to
 the authors' testbed; shapes are what the reproduction owes.
+
+``python -m repro.bench --spans`` sets ``REPRO_BENCH_SPANS=1`` in this
+process; the autouse fixture below then installs a session-wide
+:class:`~repro.obs.spans.SpanTracer` so every benchmark records causal
+spans and the span-aware ones print their latency breakdowns.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -24,3 +30,31 @@ def save_report(name: str, text: str) -> None:
 @pytest.fixture
 def report():
     return save_report
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_span_tracer():
+    """Install a SpanTracer for the whole run when --spans asked for one."""
+    if os.environ.get("REPRO_BENCH_SPANS") != "1":
+        yield None
+        return
+    from repro.obs import spans as sp
+
+    tracer = sp.active()
+    if tracer is not None:  # the caller already installed one
+        yield tracer
+        return
+    tracer = sp.SpanTracer()
+    sp.install(tracer)
+    try:
+        yield tracer
+    finally:
+        sp.uninstall(tracer)
+
+
+@pytest.fixture
+def span_tracer():
+    """The active SpanTracer, or None when spans were not requested."""
+    from repro.obs import spans as sp
+
+    return sp.active()

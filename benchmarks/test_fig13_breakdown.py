@@ -10,6 +10,8 @@ converge below PolarCXLMem, which wins even against LBP-100%.
 
 from repro.bench.harness import build_sharing_setup
 from repro.bench.report import banner, format_table
+from repro.obs import spans as sp
+from repro.obs.critical_path import summarize
 from repro.workloads.driver import SharingDriver
 from repro.workloads.sysbench import SysbenchWorkload
 
@@ -19,9 +21,15 @@ SHARE = (20, 60, 100)
 LBP_FRACTIONS = (0.1, 0.3, 0.7, 1.0)
 
 
-def _run(setup, workload, pct):
+FLUSH_SHARE = {}  # (config, pct) -> span-derived cache_flush % of latency
+
+
+def _run(setup, workload, pct, config=None):
     for node in setup.nodes:
         node.engine.meter.reset()
+    tracer = sp.active()
+    if tracer is not None:
+        tracer.clear()
     driver = SharingDriver(
         setup.sim,
         setup.nodes,
@@ -32,7 +40,12 @@ def _run(setup, workload, pct):
         warmup_txns=1,
         measure_txns=3,
     )
-    return driver.run().qps / 1e3
+    qps = driver.run().qps / 1e3
+    if tracer is not None and config is not None:
+        breakdown = summarize(tracer)
+        FLUSH_SHARE[(config, pct)] = 100.0 * breakdown.fraction("cache_flush")
+        tracer.clear()
+    return qps
 
 
 def _sweep():
@@ -44,28 +57,33 @@ def _sweep():
         setup = build_sharing_setup(
             "rdma", NODES, workload, lbp_fraction=fraction
         )
+        config = f"RDMA LBP-{int(fraction * 100)}%"
         for pct in SHARE:
-            results[(f"RDMA LBP-{int(fraction * 100)}%", pct)] = _run(
-                setup, workload, pct
-            )
+            results[(config, pct)] = _run(setup, workload, pct, config)
     workload = SysbenchWorkload(
         rows=ROWS, n_nodes=NODES, key_dist="zipf", zipf_theta=0.9
     )
     setup = build_sharing_setup("cxl", NODES, workload)
     for pct in SHARE:
-        results[("PolarCXLMem", pct)] = _run(setup, workload, pct)
+        results[("PolarCXLMem", pct)] = _run(setup, workload, pct, "PolarCXLMem")
     return results
 
 
 def test_fig13_breakdown(benchmark, report):
     results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     configs = [f"RDMA LBP-{int(f * 100)}%" for f in LBP_FRACTIONS] + ["PolarCXLMem"]
+    headers = ["config"] + [f"{pct}% shared (K-QPS)" for pct in SHARE]
     rows = [
-        (config, *[results[(config, pct)] for pct in SHARE]) for config in configs
+        [config, *[results[(config, pct)] for pct in SHARE]] for config in configs
     ]
-    table = format_table(
-        ["config"] + [f"{pct}% shared (K-QPS)" for pct in SHARE], rows
-    )
+    if FLUSH_SHARE:
+        # --spans: add the span-derived flush share of commit latency —
+        # the page- vs line-granularity mechanism behind the QPS gap.
+        headers.append(f"flush% of latency @{SHARE[-1]}%")
+        for row in rows:
+            share = FLUSH_SHARE.get((row[0], SHARE[-1]))
+            row.append("-" if share is None else f"{share:.1f}%")
+    table = format_table(headers, rows)
     report("fig13_breakdown", banner("Figure 13: LBP-size breakdown") + "\n" + table)
 
     # At light sharing, the RDMA system is sensitive to LBP size.

@@ -20,6 +20,7 @@ from ..hardware.memory import AccessMeter, MappedMemory, MemoryRegion
 from ..db.bufferpool import BufferPool, BufferPoolFullError, OffsetAccessor
 from ..db.constants import PAGE_SIZE
 from ..db.page import PageView, format_empty_page
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 from ..storage.pagestore import PageStore
@@ -162,6 +163,12 @@ class TieredRdmaBufferPool(BufferPool):
             self.misses += 1
             if tracer is not None:
                 tracer.count("pool.rdma.misses")
+            spans = spans_active()
+            span = (
+                spans.begin("page_fix", "lbp_miss", meter=self.meter, page=page_id)
+                if spans is not None
+                else None
+            )
             frame = self._claim_frame()
             if self.remote.has(page_id):
                 image = self.remote.read_page(page_id, self.meter)
@@ -175,6 +182,8 @@ class TieredRdmaBufferPool(BufferPool):
                     tracer.count("pool.rdma.storage_fetches")
             self.mapped.write(frame * PAGE_SIZE, image)
             self._frame_of[page_id] = frame
+            if span is not None:
+                spans.end(span)
         else:
             self.hits += 1
             if tracer is not None:

@@ -25,6 +25,7 @@ from ..db.bufferpool import BufferPool, BufferPoolFullError, OffsetAccessor
 from ..db.constants import PAGE_SIZE
 from ..db.page import PageView
 from ..hardware.memory import AccessMeter, MappedMemory, MemoryRegion
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 from ..storage.pagestore import PageStore
@@ -207,14 +208,27 @@ class RdmaSharedBufferPool(BufferPool):
 
     def get_page(self, page_id: int) -> PageView:
         tracer = obs_active()
+        spans = spans_active()
         frame = self._frame_of.get(page_id)
         if frame is not None and page_id not in self._invalid:
             self.hits += 1
             if tracer is not None:
                 tracer.count("rdma.lbp_hits")
         else:
+            fix = (
+                spans.begin("page_fix", "lbp_fetch", meter=self.meter, page=page_id)
+                if spans is not None
+                else None
+            )
             if page_id not in self._registered:
+                rpc = (
+                    spans.begin("rpc", "register", meter=self.meter, page=page_id)
+                    if spans is not None
+                    else None
+                )
                 self.server.register(page_id, self.node_id, self, self.meter)
+                if rpc is not None:
+                    spans.end(rpc)
                 self._registered.add(page_id)
             image = self.server.read_page(page_id, self.meter)
             if frame is None:
@@ -229,6 +243,8 @@ class RdmaSharedBufferPool(BufferPool):
                     tracer.count("rdma.lbp_refetches")
             self.mapped.write(frame * PAGE_SIZE, image)
             self._invalid.discard(page_id)
+            if fix is not None:
+                spans.end(fix)
         self._touch(page_id)
         self._pins[page_id] = self._pins.get(page_id, 0) + 1
         return PageView(
@@ -274,9 +290,34 @@ class RdmaSharedBufferPool(BufferPool):
         """
         frame = self._frame_of[page_id]
         image = self.mapped.read(frame * PAGE_SIZE, PAGE_SIZE)
-        return self.server.write_page_on_release(
+        spans = spans_active()
+        if spans is None:
+            return self.server.write_page_on_release(
+                page_id, image, self.node_id, self.meter
+            )
+        span = spans.begin(
+            "cache_flush",
+            "page_flush",
+            meter=self.meter,
+            node=self.node_id,
+            page=page_id,
+        )
+        sent = self.server.write_page_on_release(
             page_id, image, self.node_id, self.meter
         )
+        if sent:
+            # Carve the invalidation fan-out (small two-sided messages)
+            # out of the page flush: it is messaging, not data movement.
+            spans.record(
+                "rpc",
+                "invalidate_fanout",
+                parent=span,
+                ns=sent * self.server.config.rdma_message_ns,
+                page=page_id,
+                messages=sent,
+            )
+        spans.end(span, nbytes=PAGE_SIZE, invalidations=sent)
+        return sent
 
     def invalidate_local(self, page_id: int) -> None:
         """Invalidation message handler: our copy is stale."""

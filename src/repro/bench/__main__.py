@@ -14,6 +14,7 @@ matching files with output enabled. Reports also land in
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -33,6 +34,7 @@ EXPERIMENTS = {
     "table3": "test_table3_tpcc_tatp.py",
     "ablations": "test_ablations.py",
     "counters": "test_counters_amplification.py",
+    "spans": "test_spans_breakdown.py",
 }
 
 
@@ -64,19 +66,28 @@ def main(argv: list[str]) -> int:
     # bytes-moved amplification) alongside whatever was selected.
     with_counters = "--counters" in argv
     argv = [arg for arg in argv if arg != "--counters"]
+    # --spans: install a SpanTracer inside the benchmark process (via
+    # REPRO_BENCH_SPANS, consumed by benchmarks/conftest.py) so every
+    # selected experiment also prints its span-derived latency breakdown.
+    with_spans = "--spans" in argv
+    argv = [arg for arg in argv if arg != "--spans"]
     if not argv and with_counters:
         argv = ["counters"]
+    if not argv and with_spans:
+        argv = ["spans"]
     if not argv or argv[0] in ("-h", "--help", "list"):
         print("experiments:")
         for name, filename in EXPERIMENTS.items():
             print(f"  {name:10s} benchmarks/{filename}")
         print(f"  {'perf':10s} wall-clock perf harness -> BENCH_perf.json")
-        print("\nusage: python -m repro.bench [--counters] <experiment>... | all")
+        print("\nusage: python -m repro.bench [--counters] [--spans] <experiment>... | all")
         print("       python -m repro.bench perf [--quick] [--min-speedup X] [--out PATH]")
         return 0
     names = list(EXPERIMENTS) if argv == ["all"] else argv
     if with_counters and "counters" not in names:
         names.append("counters")
+    if with_spans and "spans" not in names:
+        names.append("spans")
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
@@ -91,7 +102,10 @@ def main(argv: list[str]) -> int:
         "-q",
         "-s",
     ]
-    return subprocess.call(command)
+    env = dict(os.environ)
+    if with_spans or "spans" in names:
+        env["REPRO_BENCH_SPANS"] = "1"
+    return subprocess.call(command, env=env)
 
 
 if __name__ == "__main__":

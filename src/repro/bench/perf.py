@@ -39,6 +39,7 @@ from ..hardware.memory import (
     MemoryRegion,
     MemoryTiming,
 )
+from ..obs.spans import SpanTracer
 from ..obs.trace import Tracer
 from ..sim.core import Simulator
 from ..sim.latency import CACHE_LINE, LatencyConfig
@@ -347,6 +348,32 @@ def bench_tracer_overhead(n_accesses: int) -> tuple[float, float]:
     return off, n_accesses / elapsed
 
 
+def bench_spans_overhead(n_accesses: int) -> tuple[float, float]:
+    """(spans-off, spans-on) metered reads/second on the optimized path.
+
+    The "off" side is the instrumented code with no SpanTracer installed
+    — one global load plus a None check per access — and is what the
+    ``disabled_speedup`` gate holds against the pre-PR reference. The
+    "on" side attaches a span so every access also lands a ``costs``
+    charge, the worst case for the hot path.
+    """
+    off = bench_metered_access(n_accesses, optimized=True)
+    region_bytes = 4 << 20
+    mapped, meter = _build_mapped(True, region_bytes)
+    n_slots = region_bytes // 32
+    with SpanTracer() as spans:
+        root = spans.begin("txn", "perf")
+        start = time.perf_counter()
+        read = mapped.read
+        for i in range(n_accesses):
+            read((i * 7919 % n_slots) * 32, 32)
+            if not i % 4096:
+                _drain(meter)
+        elapsed = time.perf_counter() - start
+        spans.end(root)
+    return off, n_accesses / elapsed
+
+
 def bench_fig7_slice() -> dict:
     """End-to-end slice of the figure-7 pooling benchmark (CXL system)."""
     from ..workloads.driver import PoolingDriver
@@ -426,6 +453,7 @@ def run_perf(quick: bool = False) -> dict:
     pb_ref = bench_page_burst(n_pages, optimized=False)
     pb_opt = bench_page_burst(n_pages, optimized=True)
     tr_off, tr_on = bench_tracer_overhead(n_accesses)
+    sp_off, sp_on = bench_spans_overhead(n_accesses)
     fig7 = bench_fig7_slice()
 
     return {
@@ -450,6 +478,12 @@ def run_perf(quick: bool = False) -> dict:
             "tracer_off_per_sec": round(tr_off),
             "tracer_on_per_sec": round(tr_on),
             "overhead_pct": round((tr_off / tr_on - 1.0) * 100, 1),
+        },
+        "spans_overhead": {
+            "spans_off_per_sec": round(sp_off),
+            "spans_on_per_sec": round(sp_on),
+            "overhead_pct": round((sp_off / sp_on - 1.0) * 100, 1),
+            "disabled_speedup": round(sp_off / ma_ref, 3),
         },
         "fig7_slice": fig7,
         "notes": (
@@ -496,6 +530,12 @@ def main(argv: list[str]) -> int:
         f"  {'tracer':16s} off {tr['tracer_off_per_sec']:,}/s  "
         f"on {tr['tracer_on_per_sec']:,}/s  (+{tr['overhead_pct']}%)"
     )
+    sp = report["spans_overhead"]
+    print(
+        f"  {'spans':16s} off {sp['spans_off_per_sec']:,}/s  "
+        f"on {sp['spans_on_per_sec']:,}/s  (+{sp['overhead_pct']}%)  "
+        f"disabled {sp['disabled_speedup']:.2f}x vs pre-PR reference"
+    )
     fig7 = report["fig7_slice"]
     print(
         f"  {'fig7 slice':16s} {fig7['wall_s']}s wall, qps={fig7['qps']}, "
@@ -512,6 +552,19 @@ def main(argv: list[str]) -> int:
         )
         return 1
     print(f"OK: metered-access speedup {speedup:.2f}x >= {min_speedup:.2f}x gate")
+    disabled = report["spans_overhead"]["disabled_speedup"]
+    if disabled < min_speedup:
+        print(
+            f"FAIL: spans-disabled metered access {disabled:.2f}x is below "
+            f"the {min_speedup:.2f}x gate — the span hooks cost too much "
+            f"when no SpanTracer is installed (see PERFORMANCE.md)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: spans-disabled metered access {disabled:.2f}x >= "
+        f"{min_speedup:.2f}x gate"
+    )
     return 0
 
 

@@ -14,6 +14,7 @@ __all__ = [
     "format_table",
     "format_series",
     "format_counters",
+    "format_span_breakdown",
     "dump_counters_json",
     "improvement_pct",
     "banner",
@@ -85,6 +86,45 @@ def format_counters(
             [name] + [_count_cell(snapshots[label].get(name)) for label in labels]
         )
     return banner(title) + "\n" + format_table(["counter"] + labels, rows)
+
+
+def format_span_breakdown(breakdown, title: str = "span latency breakdown") -> str:
+    """Render a :class:`~repro.obs.critical_path.MechanismBreakdown`.
+
+    One row per mechanism bucket, largest share first (``unattributed``
+    last), with per-transaction percentile latencies from the span
+    recorders. The footer states the coverage the ≥95 % acceptance
+    criterion is judged on.
+    """
+    rows: list[list[object]] = []
+    for kind in breakdown.kinds():
+        recorder = breakdown.per_txn.get(kind)
+        rows.append(
+            [
+                kind,
+                f"{100 * breakdown.fraction(kind):.1f}%",
+                _ns_cell(breakdown.buckets[kind] / max(1, breakdown.txns)),
+                _ns_cell(recorder.percentile_ns(50) if recorder else 0.0),
+                _ns_cell(recorder.percentile_ns(95) if recorder else 0.0),
+                _ns_cell(recorder.percentile_ns(99) if recorder else 0.0),
+            ]
+        )
+    table = format_table(
+        ["mechanism", "share", "avg/txn", "p50/txn", "p95/txn", "p99/txn"], rows
+    )
+    footer = (
+        f"txns={breakdown.txns}  total={breakdown.total_ns / 1e6:.2f} ms  "
+        f"coverage={100 * breakdown.coverage:.2f}%"
+    )
+    return banner(title) + "\n" + table + "\n" + footer
+
+
+def _ns_cell(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f} us"
+    return f"{ns:.0f} ns"
 
 
 def dump_counters_json(path, snapshots: Mapping[str, Mapping[str, float]]) -> None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..hardware.memory import AccessMeter, MemoryRegion
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 
@@ -121,6 +122,11 @@ class FlagSlab:
         tracer = obs_active()
         if tracer is not None:
             tracer.count("coh.flag_reads")
+        spans = spans_active()
+        if spans is not None:
+            # An uncached CXL load — attributed to the cxl_access bucket
+            # of whichever span (page_fix, usually) is doing the read.
+            spans.add_ns("cxl_access", self._flag_read_ns)
         return self.region.read(addr, 1) != b"\x00"
 
     def _check(self, entry: int) -> None:

@@ -36,6 +36,7 @@ from time import perf_counter
 from ..db.constants import OFF_LSN, PAGE_SIZE
 from ..faults.injector import active as fault_injector
 from ..faults.injector import crash_point
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..storage.pagestore import PageStore
 from ..storage.wal import RedoLog, RedoRecord
@@ -98,6 +99,13 @@ class PolarRecv:
     def recover(self) -> tuple[CxlBufferPool, RecoveryStats]:
         stats = RecoveryStats()
         tracer = obs_active()
+        spans = spans_active()
+        meter = getattr(self.mem, "meter", None)
+        scan_span = (
+            spans.begin("recovery_phase", "scan", meter=meter)
+            if spans is not None
+            else None
+        )
         phase_start = perf_counter() if tracer is not None else 0.0
         self.redo_log.recover_lsn_counter()
         durable_max = self.redo_log.durable_max_lsn
@@ -175,6 +183,13 @@ class PolarRecv:
             else:
                 stats.pages_rebuilt_too_new += 1
 
+        if scan_span is not None:
+            spans.end(
+                scan_span,
+                blocks=stats.blocks_scanned,
+                rebuilt=stats.pages_rebuilt,
+            )
+            relink_span = spans.begin("recovery_phase", "relink", meter=meter)
         if tracer is not None:
             now = perf_counter()
             tracer.observe("recv.phase_scan_s", now - phase_start)
@@ -188,6 +203,8 @@ class PolarRecv:
         crash_point("recovery.lru")
         pool.rebuild_free_list(free)
         crash_point("recovery.done")
+        if scan_span is not None:
+            spans.end(relink_span, lru_rebuilt=stats.lru_rebuilt)
         if tracer is not None:
             tracer.observe("recv.phase_relink_s", perf_counter() - phase_start)
             tracer.count("recv.recoveries")

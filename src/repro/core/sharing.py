@@ -37,6 +37,8 @@ from ..db.page import PageView
 from ..faults.injector import InjectedCrash, crash_point
 from ..hardware.cache import CpuCache
 from ..hardware.memory import AccessMeter, MemoryRegion
+from ..obs.spans import active as spans_active
+from ..obs.spans import attached as span_attached
 from ..obs.trace import active as obs_active
 from ..sim.latency import CACHE_LINE, LatencyConfig
 from ..sim.settle import ChargeSettler
@@ -112,6 +114,12 @@ class SharedCxlBufferPool(BufferPool):
 
     def get_page(self, page_id: int) -> PageView:
         tracer = obs_active()
+        spans = spans_active()
+        span = (
+            spans.begin("page_fix", "get", meter=self.meter, page=page_id)
+            if spans is not None
+            else None
+        )
         meta = self._meta.get(page_id)
         if meta is None:
             meta = self._register(page_id)
@@ -166,6 +174,8 @@ class SharedCxlBufferPool(BufferPool):
             accessor = meta.accessor = CachedPageAccessor(
                 self.cpu_cache, self.region, meta.data_offset
             )
+        if span is not None:
+            spans.end(span)
         return PageView(page_id, accessor, self)
 
     def new_page(self, page_id: int, page_type: int, level: int = 0) -> PageView:
@@ -210,6 +220,15 @@ class SharedCxlBufferPool(BufferPool):
         """
         meta = self._meta[page_id]
         tracer = obs_active()
+        spans = spans_active()
+        span = (
+            spans.begin(
+                "cache_flush", "clflush", meter=self.meter,
+                node=self.node_id, page=page_id,
+            )
+            if spans is not None
+            else None
+        )
         dirty_before = (
             self.cpu_cache.dirty_lines(self.region, meta.data_offset, PAGE_SIZE)
             if tracer is not None
@@ -236,6 +255,8 @@ class SharedCxlBufferPool(BufferPool):
         # marked dirty. Failover must treat the page as suspect.
         crash_point("sharing.flush.lines")
         self.fusion.on_write_release(page_id, self.node_id, self.meter)
+        if span is not None:
+            spans.end(span, lines=written, nbytes=written * CACHE_LINE)
         return written
 
     def scan_and_reclaim_removed(self) -> int:
@@ -273,26 +294,36 @@ class SharedCxlBufferPool(BufferPool):
         retries. Only after ``rpc_max_retries`` consecutive losses does
         the failure surface to the caller.
         """
+        spans = spans_active()
+        span = (
+            spans.begin("rpc", "request_page", meter=self.meter, page=page_id)
+            if spans is not None
+            else None
+        )
         attempts = 0
-        while True:
-            try:
-                return self.fusion.request_page(
-                    page_id,
-                    self.node_id,
-                    self.flag_slab.invalid_addr(entry),
-                    self.flag_slab.removal_addr(entry),
-                    self.meter,
-                )
-            except FusionUnavailableError:
-                attempts += 1
-                self.rpc_retries += 1
-                if attempts > self.config.rpc_max_retries:
-                    raise
-                self.meter.charge_ns(
-                    self.config.rpc_timeout_ns
-                    + self.config.rpc_retry_backoff_ns * (2 ** (attempts - 1))
-                )
-                self.meter.count("fusion_rpc_retries")
+        try:
+            while True:
+                try:
+                    return self.fusion.request_page(
+                        page_id,
+                        self.node_id,
+                        self.flag_slab.invalid_addr(entry),
+                        self.flag_slab.removal_addr(entry),
+                        self.meter,
+                    )
+                except FusionUnavailableError:
+                    attempts += 1
+                    self.rpc_retries += 1
+                    if attempts > self.config.rpc_max_retries:
+                        raise
+                    self.meter.charge_ns(
+                        self.config.rpc_timeout_ns
+                        + self.config.rpc_retry_backoff_ns * (2 ** (attempts - 1))
+                    )
+                    self.meter.count("fusion_rpc_retries")
+        finally:
+            if span is not None:
+                spans.end(span, retries=attempts)
 
     def _evict_entry(self) -> None:
         for page_id, meta in self._meta.items():
@@ -351,20 +382,39 @@ class MultiPrimaryNode:
         mtr.commit()
         return leaf_id
 
-    def point_select(self, table_name: str, key: int) -> Generator:
+    def point_select(
+        self, table_name: str, key: int, span_parent=None
+    ) -> Generator:
         """Read one row under a distributed read lock."""
-        leaf_id = self._leaf_of(table_name, key)
-        yield from self.settler.settle()
+        spans = spans_active()
+        op = (
+            spans.begin("txn", "point_select", parent=span_parent, push=False)
+            if spans is not None
+            else None
+        )
+        with span_attached(spans, op):
+            leaf_id = self._leaf_of(table_name, key)
+        yield from self.settler.settle(span=op)
+        t_lock = self.settler.sim.now
         yield from self.lock_service.lock_read(leaf_id)
+        if op is not None:
+            spans.record(
+                "lock_wait",
+                "read",
+                parent=op,
+                ns=self.settler.sim.now - t_lock,
+                page=leaf_id,
+            )
         self.read_locks_held.add(leaf_id)
         tracer = obs_active()
         if tracer is not None:
             tracer.count("lock.read_acquires")
         try:
-            mtr = self.engine.mtr()
-            row = self.engine.tables[table_name].get(mtr, key)
-            mtr.commit()
-            yield from self.settler.settle()
+            with span_attached(spans, op):
+                mtr = self.engine.mtr()
+                row = self.engine.tables[table_name].get(mtr, key)
+                mtr.commit()
+            yield from self.settler.settle(span=op)
         except InjectedCrash:
             # The node just died: it cannot run its unlock path. The
             # lock stays held until failover force-releases it.
@@ -373,10 +423,12 @@ class MultiPrimaryNode:
             self._unlock_read(leaf_id)
             raise
         self._unlock_read(leaf_id)
+        if op is not None:
+            spans.end(op)
         return row
 
     def point_update(
-        self, table_name: str, key: int, field: str, value
+        self, table_name: str, key: int, field: str, value, span_parent=None
     ) -> Generator:
         """Update one column under a distributed write lock.
 
@@ -384,28 +436,46 @@ class MultiPrimaryNode:
         flush) happens before the lock releases — the paper's
         lock-hold-time effect.
         """
-        leaf_id = self._leaf_of(table_name, key)
-        yield from self.settler.settle()
+        spans = spans_active()
+        op = (
+            spans.begin("txn", "point_update", parent=span_parent, push=False)
+            if spans is not None
+            else None
+        )
+        with span_attached(spans, op):
+            leaf_id = self._leaf_of(table_name, key)
+        yield from self.settler.settle(span=op)
+        t_lock = self.settler.sim.now
         yield from self.lock_service.lock_write(leaf_id)
+        if op is not None:
+            spans.record(
+                "lock_wait",
+                "write",
+                parent=op,
+                ns=self.settler.sim.now - t_lock,
+                page=leaf_id,
+            )
         self.write_locks_held.add(leaf_id)
         tracer = obs_active()
         if tracer is not None:
             tracer.count("lock.write_acquires")
             tracer.emit("lock", "write_acquire", node=self.node_id, page=leaf_id)
         try:
-            txn = self.engine.begin()
-            mtr = txn.mtr()
-            found = self.engine.tables[table_name].update_field(
-                mtr, key, field, value
-            )
-            mtr.commit()
-            txn.commit()
-            # Crash here: the update is durable in the node's redo log
-            # but sits dirty in its CPU cache — CXL still holds the old
-            # bytes. Failover rebuilds from storage + durable redo.
-            crash_point("node.update.logged")
-            self.engine.buffer_pool.flush_page_writes(leaf_id)
-            yield from self.settler.settle()
+            with span_attached(spans, op):
+                txn = self.engine.begin()
+                mtr = txn.mtr()
+                found = self.engine.tables[table_name].update_field(
+                    mtr, key, field, value
+                )
+                mtr.commit()
+                txn.commit()
+                # Crash here: the update is durable in the node's redo
+                # log but sits dirty in its CPU cache — CXL still holds
+                # the old bytes. Failover rebuilds from storage + durable
+                # redo.
+                crash_point("node.update.logged")
+                self.engine.buffer_pool.flush_page_writes(leaf_id)
+            yield from self.settler.settle(span=op)
         except InjectedCrash:
             # Dead node: the write lock stays held (protecting readers
             # from the possibly-torn page) until failover rebuilds the
@@ -417,30 +487,51 @@ class MultiPrimaryNode:
         if tracer is not None:
             tracer.emit("lock", "write_release", node=self.node_id, page=leaf_id)
         self._unlock_write(leaf_id)
+        if op is not None:
+            spans.end(op)
         return found
 
     def range_select(
-        self, table_name: str, start_key: int, count: int
+        self, table_name: str, start_key: int, count: int, span_parent=None
     ) -> Generator:
         """Range scan; the entry leaf is read-locked (see DESIGN.md §6)."""
-        leaf_id = self._leaf_of(table_name, start_key)
-        yield from self.settler.settle()
+        spans = spans_active()
+        op = (
+            spans.begin("txn", "range_select", parent=span_parent, push=False)
+            if spans is not None
+            else None
+        )
+        with span_attached(spans, op):
+            leaf_id = self._leaf_of(table_name, start_key)
+        yield from self.settler.settle(span=op)
+        t_lock = self.settler.sim.now
         yield from self.lock_service.lock_read(leaf_id)
+        if op is not None:
+            spans.record(
+                "lock_wait",
+                "read",
+                parent=op,
+                ns=self.settler.sim.now - t_lock,
+                page=leaf_id,
+            )
         self.read_locks_held.add(leaf_id)
         tracer = obs_active()
         if tracer is not None:
             tracer.count("lock.read_acquires")
         try:
-            mtr = self.engine.mtr()
-            rows = self.engine.tables[table_name].range(mtr, start_key, count)
-            mtr.commit()
-            yield from self.settler.settle()
+            with span_attached(spans, op):
+                mtr = self.engine.mtr()
+                rows = self.engine.tables[table_name].range(mtr, start_key, count)
+                mtr.commit()
+            yield from self.settler.settle(span=op)
         except InjectedCrash:
             raise
         except BaseException:
             self._unlock_read(leaf_id)
             raise
         self._unlock_read(leaf_id)
+        if op is not None:
+            spans.end(op)
         return rows
 
     def _unlock_read(self, leaf_id: int) -> None:

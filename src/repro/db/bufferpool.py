@@ -23,6 +23,7 @@ from collections import OrderedDict
 from typing import Optional
 
 from ..hardware.memory import MappedMemory
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..storage.pagestore import PageStore
 from .constants import OFF_LSN, PAGE_SIZE
@@ -151,10 +152,20 @@ class LocalBufferPool(BufferPool):
             self.misses += 1
             if tracer is not None:
                 tracer.count("pool.dram.misses")
+            spans = spans_active()
+            span = (
+                spans.begin(
+                    "page_fix", "dram_miss", meter=self.mapped.meter, page=page_id
+                )
+                if spans is not None
+                else None
+            )
             frame = self._claim_frame()
             image = self.page_store.read_page(page_id)
             self.mapped.write(frame * PAGE_SIZE, image)
             self._frame_of[page_id] = frame
+            if span is not None:
+                spans.end(span)
         else:
             self.hits += 1
             if tracer is not None:

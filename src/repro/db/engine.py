@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..hardware.memory import AccessMeter, MemoryRegion
+from ..obs.spans import active as spans_active
 from ..sim.latency import CostModel
 from ..storage.checkpoint import Checkpointer
 from ..storage.pagestore import PageStore
@@ -190,7 +191,13 @@ class Engine:
     def checkpoint(self) -> int:
         """Flush dirty pages and advance the checkpoint LSN."""
         self._check_alive()
-        return self.checkpointer.checkpoint()
+        spans = spans_active()
+        if spans is None:
+            return self.checkpointer.checkpoint()
+        span = spans.begin("pagestore_io", "checkpoint", meter=self.meter)
+        flushed = self.checkpointer.checkpoint()
+        spans.end(span, pages=flushed)
+        return flushed
 
     # -- crash ------------------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ import struct
 from typing import TYPE_CHECKING
 
 from ..faults.injector import crash_point
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from .bufferpool import BufferPool
 from .constants import PAGE_HEADER_SIZE
@@ -51,6 +52,13 @@ class MiniTransaction:
         self._undo: list[tuple[int, int, bytes]] = []  # before-images
         self._touched_views: list[PageView] = []
         self._committed = False
+        spans = spans_active()
+        if spans is not None:
+            self._span = spans.begin("mtr", "mtr", meter=engine.meter)
+            self._span_tracer = spans
+        else:
+            self._span = None
+            self._span_tracer = None
 
     # -- page access -----------------------------------------------------------------
 
@@ -160,6 +168,8 @@ class MiniTransaction:
             tracer.count("mtr.commits")
             if self._staged:
                 tracer.count("mtr.records_staged", len(self._staged))
+        if self._span is not None:
+            self._span_tracer.end(self._span, records=len(self._staged))
         self._staged = []
         self._undo = []
         self._touched_views = []

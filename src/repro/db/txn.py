@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..obs.spans import active as spans_active
 from .mtr import MiniTransaction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -38,6 +39,15 @@ class Transaction:
         self._committed = False
         self._rolled_back = False
         self._undo: list[tuple[int, int, bytes]] = []
+        spans = spans_active()
+        if spans is not None:
+            self._span = spans.begin(
+                "txn", "transaction", meter=engine.meter, txn_id=self.txn_id
+            )
+            self._span_tracer = spans
+        else:
+            self._span = None
+            self._span_tracer = None
         engine.meter.charge_ns(engine.cost.txn_fixed_ns / 2)
 
     def mtr(self) -> MiniTransaction:
@@ -55,6 +65,8 @@ class Transaction:
         self._undo = []
         self.engine.redo_log.flush()
         self.engine.meter.charge_ns(self.engine.cost.txn_fixed_ns / 2)
+        if self._span is not None:
+            self._span_tracer.end(self._span)
 
     def rollback(self) -> int:
         """Undo every committed mini-transaction of this transaction.
@@ -82,6 +94,8 @@ class Transaction:
         self._undo = []
         self.engine.redo_log.flush()
         self.engine.meter.charge_ns(self.engine.cost.txn_fixed_ns / 2)
+        if self._span is not None:
+            self._span_tracer.end(self._span, rolled_back=True)
         return applied
 
     @property

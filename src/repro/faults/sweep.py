@@ -54,7 +54,9 @@ from ..db.record import Field, RecordCodec
 from ..hardware.cache import LineCacheModel
 from ..hardware.host import Cluster, Host
 from ..hardware.memory import AccessMeter, WindowedMemory
-from ..obs.invariants import assert_trace_invariants
+from ..obs.invariants import assert_span_invariants, assert_trace_invariants
+from ..obs.spans import SpanTracer
+from ..obs.spans import active as spans_active
 from ..obs.trace import Tracer
 from ..obs.trace import active as obs_active
 from ..sim.core import Simulator
@@ -309,16 +311,40 @@ def _golden_tracer():
     return Tracer() if obs_active() is None else None
 
 
+def _sweep_spans():
+    """A span tracer for one sweep coordinate, unless one is installed.
+
+    Every crash-and-recover run doubles as a span-balance check: the
+    injected crash must leave no span ``open`` (they are abandoned at
+    the catch site), and the recovered run's spans must nest correctly.
+    """
+    return SpanTracer() if spans_active() is None else None
+
+
+def _crash_abandon(span_tracer) -> None:
+    """Crash semantics for spans: whatever was open can never end."""
+    tracer = span_tracer if span_tracer is not None else spans_active()
+    if tracer is not None:
+        tracer.abandon_open()
+
+
+def _check_spans(span_tracer, allow_abandoned: bool) -> None:
+    if span_tracer is not None:
+        assert_span_invariants(span_tracer, allow_abandoned=allow_abandoned)
+
+
 def _golden_run(seed: int) -> _GoldenRun:
     scenario = _build_scenario(seed)
     model = _setup_baseline(scenario)
     snapshots: dict[int, dict] = {}
     injector = FaultInjector(seed=seed)
     tracer = _golden_tracer()
-    with tracer or nullcontext(), injector:
+    span_tracer = _sweep_spans()
+    with tracer or nullcontext(), span_tracer or nullcontext(), injector:
         model = _run_workload(scenario, model, snapshots, random.Random(seed))
     if tracer is not None:
         assert_trace_invariants(tracer)
+    _check_spans(span_tracer, allow_abandoned=False)
     if _read_contents(scenario.engine) != model:
         raise CrashSweepError("golden run is internally inconsistent")
     return _GoldenRun(list(injector.trace), snapshots, model)
@@ -330,18 +356,22 @@ def _crash_and_recover(
     scenario = _build_scenario(seed)
     model = _setup_baseline(scenario)
     injector = FaultInjector(seed=seed).arm(point, hit)
+    span_tracer = _sweep_spans()
     crashed = False
     try:
-        with injector:
+        with span_tracer or nullcontext(), injector:
             _run_workload(scenario, model, {}, random.Random(seed))
     except InjectedCrash:
         crashed = True
+        _crash_abandon(span_tracer)
     if not crashed:
         return SweepOutcome(point, hit, False, False, "armed point never fired")
     scenario.engine.crash()
     scenario.host.crash()
     scenario.host.restart()
-    engine = _recover(scenario)
+    with span_tracer or nullcontext():
+        engine = _recover(scenario)
+    _check_spans(span_tracer, allow_abandoned=True)
     expected = _expected_at(golden.snapshots, scenario.redo.durable_max_lsn)
     actual = _read_contents(engine)
     if actual == expected:
@@ -383,12 +413,14 @@ def _crashed_scenario(seed: int, first_hit: int) -> _Scenario:
     scenario = _build_scenario(seed)
     model = _setup_baseline(scenario)
     injector = FaultInjector(seed=seed).arm(_REENTRY_FIRST_POINT, first_hit)
+    span_tracer = _sweep_spans()
     crashed = False
     try:
-        with injector:
+        with span_tracer or nullcontext(), injector:
             _run_workload(scenario, model, {}, random.Random(seed))
     except InjectedCrash:
         crashed = True
+        _crash_abandon(span_tracer)
     if not crashed:
         raise CrashSweepError("re-entrancy sweep: first crash never fired")
     scenario.engine.crash()
@@ -427,12 +459,14 @@ def sweep_recovery_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepRe
     for point, hit in _select_hits(recovery_trace, max_hits_per_point):
         scenario = _crashed_scenario(seed, first_hit)
         injector = FaultInjector(seed=seed).arm(point, hit)
+        span_tracer = _sweep_spans()
         crashed = False
         try:
-            with injector:
+            with span_tracer or nullcontext(), injector:
                 _recover(scenario)
         except InjectedCrash:
             crashed = True
+            _crash_abandon(span_tracer)
         if not crashed:
             report.outcomes.append(
                 SweepOutcome(point, hit, False, False, "armed point never fired")
@@ -441,7 +475,9 @@ def sweep_recovery_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepRe
         # Recovery itself died: power-cycle again, recover from scratch.
         scenario.host.crash()
         scenario.host.restart()
-        engine = _recover(scenario)
+        with span_tracer or nullcontext():
+            engine = _recover(scenario)
+        _check_spans(span_tracer, allow_abandoned=True)
         ok = _read_contents(engine) == expected
         report.outcomes.append(
             SweepOutcome(
@@ -526,10 +562,12 @@ def _sharing_golden(seed: int) -> _GoldenRun:
     snapshots: dict[int, dict] = {}
     injector = FaultInjector(seed=seed)
     tracer = _golden_tracer()
-    with tracer or nullcontext(), injector:
+    span_tracer = _sweep_spans()
+    with tracer or nullcontext(), span_tracer or nullcontext(), injector:
         _run_sharing_ops(setup, _sharing_ops(), model, snapshots, [0])
     if tracer is not None:
         assert_trace_invariants(tracer)
+    _check_spans(span_tracer, allow_abandoned=False)
     reader = setup.nodes[1]
     for key in _SHARED_KEYS:
         row = setup.sim.run_process(reader.point_select(_SHARED_TABLE, key))
@@ -544,15 +582,18 @@ def _sharing_crash_and_failover(
     setup = _build_sharing(seed)
     model = _sharing_prephase(setup)
     injector = FaultInjector(seed=seed).arm(point, hit)
+    span_tracer = _sweep_spans()
     executing = [0]
     crashed = False
     try:
-        with injector:
+        with span_tracer or nullcontext(), injector:
             _run_sharing_ops(setup, _sharing_ops(), model, {}, executing)
     except InjectedCrash:
         crashed = True
+        _crash_abandon(span_tracer)
     if not crashed:
         return SweepOutcome(point, hit, False, False, "armed point never fired")
+    _check_spans(span_tracer, allow_abandoned=True)
 
     dead = setup.nodes[executing[0]]
     survivor = setup.nodes[1 - executing[0]]

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from typing import Optional
 
 from ..faults.injector import crash_point
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..sim.latency import CACHE_LINE
 from .memory import AccessMeter, LineCacheProtocol, MemoryRegion
@@ -279,12 +280,18 @@ class CpuCache:
                 self.meter.charge_ns(self.miss_ns)
                 if self.pipe_key is not None:
                     self.meter.charge_transfer(self.pipe_key, CACHE_LINE)
+                spans = spans_active()
+                if spans is not None:
+                    spans.add_ns("cxl_access", self.miss_ns)
             self._evict_if_needed()
         else:
             self._lines.move_to_end(key)
             self.stale_serves += 1
             if self.meter is not None:
                 self.meter.charge_ns(self.hit_ns)
+                spans = spans_active()
+                if spans is not None:
+                    spans.add_ns("cxl_access", self.hit_ns)
         return entry
 
     def _load_line(self, region: MemoryRegion, line: int) -> bytes:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..sim.latency import CACHE_LINE, LatencyTable
 
@@ -162,6 +163,10 @@ class AccessMeter:
         self.ns: float = 0.0
         self.transfers: list[TransferCharge] = []
         self.counters: dict[str, float] = {}
+        # Monotone total of everything take() has drained, so span
+        # tracing can snapshot (ns + taken_ns) and difference it later
+        # without caring whether a settle happened in between.
+        self.taken_ns: float = 0.0
 
     def charge_ns(self, ns: float) -> None:
         self.ns += ns
@@ -187,6 +192,7 @@ class AccessMeter:
     def take(self) -> tuple[float, list[TransferCharge]]:
         """Return and clear the per-operation charges (counters persist)."""
         ns, self.ns = self.ns, 0.0
+        self.taken_ns += ns
         transfers, self.transfers = self.transfers, []
         return ns, transfers
 
@@ -194,6 +200,7 @@ class AccessMeter:
         self.ns = 0.0
         self.transfers = []
         self.counters = {}
+        self.taken_ns = 0.0
 
 
 @dataclass(frozen=True)
@@ -272,6 +279,7 @@ class MappedMemory:
             timing.write_burst_base_ns, timing.write_burst_ns_per_byte
         )
         self._touched_key = counter_key + "_touched_bytes"
+        self._span_kind = counter_key + "_access"
         self._trace_burst_key = f"mem.{counter_key}.burst_bytes"
         self._trace_hits_key = f"mem.{counter_key}.line_hits"
         self._trace_misses_key = f"mem.{counter_key}.line_misses"
@@ -327,7 +335,8 @@ class MappedMemory:
             hits, misses = self.line_cache.touch_range(
                 self._region_name, first_line, last_line
             )
-            meter.ns += misses * self._miss_ns + hits * self._hit_ns
+            ns = misses * self._miss_ns + hits * self._hit_ns
+            meter.ns += ns
             # Only cache misses generate device/link traffic, at line
             # granularity — a hot B-tree root costs the CXL link nothing.
             device_bytes = misses * CACHE_LINE
@@ -336,6 +345,9 @@ class MappedMemory:
                     tracer.count(self._trace_hits_key, hits)
                 if misses:
                     tracer.count(self._trace_misses_key, misses)
+        spans = spans_active()
+        if spans is not None:
+            spans.add_ns(self._span_kind, ns)
         counters = meter.counters
         key = self._touched_key
         counters[key] = counters.get(key, 0.0) + nbytes

@@ -16,6 +16,7 @@ Both ceilings are FIFO pipes, so exceeding either builds queueing delay
 
 from __future__ import annotations
 
+from ..obs.spans import active as spans_active
 from ..sim.core import Event, Simulator
 from ..sim.latency import LatencyConfig
 from ..sim.resources import Pipe
@@ -52,20 +53,34 @@ class RdmaNic:
 
     def read(self, nbytes: int) -> Event:
         """Issue a READ inside the simulation; fires when data has landed."""
+        self._record_op("read", nbytes, self.read_ns(nbytes))
         self.ops_pipe.transfer(1)
         return self.data_pipe.transfer(nbytes, base_ns=int(self.read_ns(nbytes)))
 
     def write(self, nbytes: int) -> Event:
         """Issue a WRITE inside the simulation; fires on completion."""
+        self._record_op("write", nbytes, self.write_ns(nbytes))
         self.ops_pipe.transfer(1)
         return self.data_pipe.transfer(nbytes, base_ns=int(self.write_ns(nbytes)))
 
     def send_message(self) -> Event:
         """A small two-sided message (e.g. an invalidation or RPC)."""
+        self._record_op("message", 256, self.config.rdma_message_ns)
         self.ops_pipe.transfer(1)
         return self.data_pipe.transfer(
             256, base_ns=int(self.config.rdma_message_ns)
         )
+
+    def _record_op(self, op: str, nbytes: int, base_ns: float) -> None:
+        """Span hook: one closed ``rpc`` span per NIC operation.
+
+        The recorded duration is the unloaded Table 2 latency; queueing
+        on the pipes shows up separately (``pipe_wait``) when the caller
+        settles with a span.
+        """
+        spans = spans_active()
+        if spans is not None:
+            spans.record("rpc", f"rdma_{op}", ns=base_ns, nic=self.name, nbytes=nbytes)
 
     @property
     def bandwidth_used(self) -> float:

@@ -1,40 +1,77 @@
-"""Observability: structured trace events, mechanism counters, invariants.
+"""Observability: trace events, counters, causal spans, invariants.
 
-The paper's headline claims are *counts*, not just latencies — lines
-flushed instead of pages, redo records skipped instead of replayed,
-line-granular instead of page-granular interconnect bytes. This package
-makes those counts first-class:
+The paper's headline claims are *counts* and *latency attributions* —
+lines flushed instead of pages, redo records skipped instead of
+replayed, and which mechanism each nanosecond of commit latency went
+to. This package makes both first-class:
 
 * :mod:`repro.obs.trace` — a :class:`Tracer` of structured events in
   bounded per-subsystem ring buffers, installed globally exactly like
   the fault injector (one global load + ``None`` check when disabled).
 * :mod:`repro.obs.counters` — a :class:`CounterRegistry` of named
   counters and histograms, owned by the tracer.
-* :mod:`repro.obs.invariants` — a trace-driven checker replaying an
-  event stream and asserting coherency-protocol safety properties.
+* :mod:`repro.obs.spans` — a :class:`SpanTracer` of begin/end spans in
+  simulated time with parent→child causality and mechanism kinds,
+  installed through the same global-hook pattern.
+* :mod:`repro.obs.critical_path` — per-transaction self-time vs
+  child-time decomposition of span trees into mechanism buckets.
+* :mod:`repro.obs.export` — Chrome-trace JSON (Perfetto) and CSV
+  summaries of recorded spans.
+* :mod:`repro.obs.invariants` — checkers replaying a trace (protocol
+  safety) or a span list (balance/nesting, crash abandonment).
 """
 
 from .counters import CounterRegistry, Histogram
+from .critical_path import MechanismBreakdown, UNATTRIBUTED, summarize
+from .export import to_chrome_trace, write_chrome_trace, write_csv_summary
 from .invariants import (
     InvariantViolationError,
+    SpanCheckStats,
     TraceInvariantChecker,
     Violation,
+    assert_span_invariants,
     assert_trace_invariants,
     check_events,
+    check_span_invariants,
 )
+from .spans import (
+    MECHANISM_KINDS,
+    Span,
+    SpanTracer,
+    attached as span_attached,
+)
+from .spans import active as spans_active
+from .spans import install as install_spans
+from .spans import uninstall as uninstall_spans
 from .trace import TraceEvent, Tracer, active, install, uninstall
 
 __all__ = [
     "CounterRegistry",
     "Histogram",
     "InvariantViolationError",
+    "MECHANISM_KINDS",
+    "MechanismBreakdown",
+    "Span",
+    "SpanCheckStats",
+    "SpanTracer",
     "TraceEvent",
     "TraceInvariantChecker",
     "Tracer",
+    "UNATTRIBUTED",
     "Violation",
     "active",
+    "assert_span_invariants",
     "assert_trace_invariants",
     "check_events",
+    "check_span_invariants",
     "install",
+    "install_spans",
+    "span_attached",
+    "spans_active",
+    "summarize",
+    "to_chrome_trace",
     "uninstall",
+    "uninstall_spans",
+    "write_chrome_trace",
+    "write_csv_summary",
 ]

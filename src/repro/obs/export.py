@@ -1,0 +1,119 @@
+"""Span export: Chrome-trace JSON (loadable in Perfetto) + CSV summary.
+
+The Chrome trace event format is the least-common-denominator input
+Perfetto, ``chrome://tracing`` and ``speedscope`` all accept: a JSON
+object with a ``traceEvents`` list of complete ("ph": "X") events whose
+``ts``/``dur`` are in microseconds. We map:
+
+* ``cat``   ← the span's mechanism kind,
+* ``tid``   ← the span's root ancestor id, so every transaction renders
+  as its own track with children nested by time containment,
+* ``args``  ← the span's fields plus span/parent ids and status.
+
+Charged-only spans (no simulated wall width — they execute inside one
+synchronous segment and their latency materialises at the next settle)
+are exported with ``dur`` equal to their charged ns, starting at their
+record timestamp; the ``charged`` arg marks them.
+
+Output is deterministic: spans are serialised in begin order with
+sorted keys and fixed separators, so a seeded workload exports
+byte-identical JSON (the golden-snapshot test pins one).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Union
+
+from .critical_path import MechanismBreakdown
+from .spans import Span, SpanTracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_csv_summary",
+]
+
+
+def _spans_of(source: Union[SpanTracer, Iterable[Span]]) -> list[Span]:
+    return source.spans() if isinstance(source, SpanTracer) else list(source)
+
+
+def _root_index(spans: list[Span]) -> dict[int, int]:
+    """span_id → root ancestor span_id (parents precede children)."""
+    roots: dict[int, int] = {}
+    for span in spans:
+        parent = span.parent_id
+        roots[span.span_id] = (
+            roots.get(parent, parent) if parent is not None else span.span_id
+        )
+    return roots
+
+
+def to_chrome_trace(
+    source: Union[SpanTracer, Iterable[Span]], process_name: str = "repro"
+) -> dict:
+    """Build the Chrome-trace dict for ``json.dump``."""
+    spans = _spans_of(source)
+    roots = _root_index(spans)
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        wall = span.t1 - span.t0
+        charged = wall <= 0.0 and span.ns > 0.0
+        args = dict(span.fields)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.status != "closed":
+            args["status"] = span.status
+        if charged:
+            args["charged"] = True
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.t0 / 1e3,
+                "dur": (span.ns if charged else wall) / 1e3,
+                "pid": 0,
+                "tid": roots.get(span.span_id, span.span_id),
+                "args": args,
+            }
+        )
+    return {"displayTimeUnit": "ns", "traceEvents": events}
+
+
+def write_chrome_trace(
+    path, source: Union[SpanTracer, Iterable[Span]], process_name: str = "repro"
+) -> None:
+    """Serialise deterministically (sorted keys, fixed separators)."""
+    payload = to_chrome_trace(source, process_name=process_name)
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.write("\n")
+
+
+def write_csv_summary(path, breakdown: MechanismBreakdown) -> None:
+    """Per-mechanism bucket totals and per-txn percentiles as CSV."""
+    lines = ["mechanism,total_ns,share,p50_ns,p95_ns,p99_ns"]
+    for kind in breakdown.kinds():
+        recorder = breakdown.per_txn.get(kind)
+        p50 = recorder.percentile_ns(50.0) if recorder is not None else 0.0
+        p95 = recorder.p95_ns if recorder is not None else 0.0
+        p99 = recorder.p99_ns if recorder is not None else 0.0
+        lines.append(
+            f"{kind},{breakdown.buckets[kind]:.1f},"
+            f"{breakdown.fraction(kind):.4f},{p50:.1f},{p95:.1f},{p99:.1f}"
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+        handle.write("\n")

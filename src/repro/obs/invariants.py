@@ -53,6 +53,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Union
 
+from .spans import Span, SpanTracer
 from .trace import TraceEvent, Tracer
 
 __all__ = [
@@ -61,6 +62,9 @@ __all__ = [
     "TraceInvariantChecker",
     "check_events",
     "assert_trace_invariants",
+    "SpanCheckStats",
+    "check_span_invariants",
+    "assert_span_invariants",
 ]
 
 # Subsystems the checker's correctness depends on: a dropped event here
@@ -275,3 +279,108 @@ def assert_trace_invariants(
     if violations:
         raise InvariantViolationError(violations)
     return checker.stats
+
+
+# ---------------------------------------------------------------------------
+# Span-balance invariants (repro.obs.spans)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpanCheckStats:
+    """What the span checker verified (guards trivial passes)."""
+
+    spans: int = 0
+    closed: int = 0
+    abandoned: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+
+def check_span_invariants(
+    source: Union["SpanTracer", Iterable["Span"]],
+    allow_abandoned: bool = False,
+) -> SpanCheckStats:
+    """Verify span well-formedness; violations collected, not raised.
+
+    The span-balance invariant: every recorded span was *ended* — closed
+    by matching :meth:`~repro.obs.spans.SpanTracer.end`, or explicitly
+    marked ``abandoned`` by crash handling
+    (:meth:`~repro.obs.spans.SpanTracer.abandon_open`). Additionally:
+
+    * a span's parent exists and was begun before it,
+    * nesting is well-formed: no closed span outlives its closed parent
+      (children end before the parent, in end order and in simulated
+      time).
+
+    ``allow_abandoned`` is for fault-injected runs, where the spans that
+    were open at the crash legitimately never end.
+    """
+    spans = source.spans() if isinstance(source, SpanTracer) else list(source)
+    stats = SpanCheckStats()
+    by_id: dict[int, "Span"] = {}
+    for span in spans:
+        stats.spans += 1
+        sid = span.span_id
+        by_id[sid] = span
+        if span.status == "closed":
+            stats.closed += 1
+        elif span.status == "abandoned":
+            stats.abandoned += 1
+            if not allow_abandoned:
+                stats.violations.append(
+                    Violation(
+                        "span_balance",
+                        sid,
+                        f"{span.kind}:{span.name} abandoned in a crash-free "
+                        "run (missing end())",
+                    )
+                )
+        else:
+            stats.violations.append(
+                Violation(
+                    "span_balance",
+                    sid,
+                    f"{span.kind}:{span.name} still open — a begin() "
+                    "without a matching end() or abandon_open()",
+                )
+            )
+        parent_id = span.parent_id
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            stats.violations.append(
+                Violation(
+                    "span_parent",
+                    sid,
+                    f"{span.kind}:{span.name} references parent "
+                    f"#{parent_id}, which was never begun (or begun later)",
+                )
+            )
+            continue
+        if span.status == "closed" and parent.status == "closed":
+            if span.end_seq > parent.end_seq or span.t1 > parent.t1:
+                stats.violations.append(
+                    Violation(
+                        "span_nesting",
+                        sid,
+                        f"{span.kind}:{span.name} outlives its parent "
+                        f"#{parent_id} ({parent.kind}:{parent.name})",
+                    )
+                )
+    return stats
+
+
+def assert_span_invariants(
+    source: Union["SpanTracer", Iterable["Span"]],
+    allow_abandoned: bool = False,
+) -> SpanCheckStats:
+    """Check span balance/nesting; raise on any violation.
+
+    Returns :class:`SpanCheckStats` so callers can assert the check was
+    non-trivial (e.g. ``stats.closed > 0``).
+    """
+    stats = check_span_invariants(source, allow_abandoned=allow_abandoned)
+    if stats.violations:
+        raise InvariantViolationError(stats.violations)
+    return stats

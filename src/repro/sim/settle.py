@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Generator
 
+from ..obs.spans import active as spans_active
 from .core import Simulator
 from .resources import Pipe
 
@@ -35,7 +36,7 @@ class ChargeSettler:
         self.pipes = pipes
         self.unroutable_keys: set[str] = set()
 
-    def settle(self, extra_ns: float = 0.0) -> Generator:
+    def settle(self, extra_ns: float = 0.0, span=None) -> Generator:
         """Process step: elapse the meter's accumulated cost.
 
         Per-operation base latencies (an RDMA read's ~5 µs, a storage
@@ -43,7 +44,14 @@ class ChargeSettler:
         one timeout. The byte movement is then pushed through the pipes
         — FIFO bandwidth resources — whose completion reflects any
         queueing behind other threads' traffic (saturation).
+
+        ``span`` is the caller's transaction/operation span, if span
+        tracing is on: any time this settle blocks *beyond* the charged
+        service time is pipe queueing, recorded retroactively as a
+        ``pipe_wait`` child span (nothing is ever left open across the
+        yields).
         """
+        t0 = self.sim.now
         ns, transfers = self.meter.take()
         total_ns = ns + extra_ns
         if transfers:
@@ -86,6 +94,12 @@ class ChargeSettler:
                 )
         elif total_ns > 0:
             yield self.sim.timeout(int(total_ns))
+        if span is not None:
+            spans = spans_active()
+            if spans is not None:
+                excess = (self.sim.now - t0) - int(total_ns)
+                if excess > 0:
+                    spans.record("pipe_wait", "settle", parent=span, ns=excess)
 
     def settle_serial(self) -> Generator:
         """Like :meth:`settle`, but transfers run one after another.

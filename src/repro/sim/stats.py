@@ -23,6 +23,11 @@ def percentile(sorted_values: list[float], q: float) -> float:
         raise ValueError(f"percentile out of range: {q}")
     if len(sorted_values) == 1:
         return sorted_values[0]
+    # Exact endpoints: no rank arithmetic, no interpolation drift.
+    if q == 0.0:
+        return sorted_values[0]
+    if q == 100.0:
+        return sorted_values[-1]
     rank = (q / 100.0) * (len(sorted_values) - 1)
     low = int(math.floor(rank))
     high = int(math.ceil(rank))
@@ -78,6 +83,13 @@ class LatencyRecorder:
         self._samples.append(value_ns)
         self._sorted = False
 
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold another recorder's samples in (combining per-node data)."""
+        if other._samples:
+            self._samples.extend(other._samples)
+            self._sorted = False
+        return self
+
     def _ensure_sorted(self) -> list[float]:
         if not self._sorted:
             self._samples.sort()
@@ -93,6 +105,14 @@ class LatencyRecorder:
         return sum(self._samples) / len(self._samples) if self._samples else 0.0
 
     def percentile_ns(self, q: float) -> float:
+        """Percentile of recorded samples; 0.0 when nothing was recorded.
+
+        An empty recorder is a legitimate state for a mechanism bucket
+        that never fired, so it answers 0 rather than raising the way
+        bare :func:`percentile` does.
+        """
+        if not self._samples:
+            return 0.0
         return percentile(self._ensure_sorted(), q)
 
     @property

@@ -22,6 +22,7 @@ from typing import Iterator, Optional
 
 from ..faults.injector import active as fault_injector
 from ..hardware.memory import AccessMeter
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 
@@ -69,6 +70,14 @@ class PageStore:
         if tracer is not None:
             tracer.count("store.page_reads")
             tracer.count("store.read_bytes", self.page_size)
+        spans = spans_active()
+        if spans is not None:
+            spans.record(
+                "pagestore_io",
+                "read_page",
+                ns=self.config.storage_read_base_ns,
+                page=page_id,
+            )
         return image
 
     def write_page(self, page_id: int, image: bytes) -> None:
@@ -93,6 +102,14 @@ class PageStore:
         if tracer is not None:
             tracer.count("store.page_writes")
             tracer.count("store.write_bytes", self.page_size)
+        spans = spans_active()
+        if spans is not None:
+            spans.record(
+                "pagestore_io",
+                "write_page",
+                ns=self.config.storage_write_base_ns,
+                page=page_id,
+            )
 
     def _tear_write(self, page_id: int, image: bytes, rng: random.Random) -> None:
         """Crash mid-write: persist a sector-granular prefix of ``image``.

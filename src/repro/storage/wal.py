@@ -24,6 +24,7 @@ from typing import Optional
 
 from ..faults.injector import crash_point
 from ..hardware.memory import AccessMeter
+from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..sim.latency import LatencyConfig
 
@@ -85,6 +86,12 @@ class RedoLog:
     def flush(self) -> int:
         """Force the buffer to the durable log; returns durable max LSN."""
         if self._buffer:
+            spans = spans_active()
+            span = (
+                spans.begin("wal_append", "flush", meter=self.meter)
+                if spans is not None
+                else None
+            )
             # A crash here loses the whole buffer (it is host DRAM).
             crash_point("wal.flush.begin")
             nbytes = sum(record.size_bytes for record in self._buffer)
@@ -102,6 +109,8 @@ class RedoLog:
                 self.meter.charge_transfer(
                     "wal", nbytes, base_ns=self.config.wal_write_base_ns
                 )
+            if span is not None:
+                spans.end(span, nbytes=nbytes)
         return self.durable_max_lsn
 
     # -- durability state ------------------------------------------------------------

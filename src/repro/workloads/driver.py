@@ -24,6 +24,8 @@ from ..core.sharing import MultiPrimaryNode
 from ..db.engine import Engine
 from ..hardware.host import Host
 from ..hardware.memory import AccessMeter
+from ..obs.spans import active as spans_active
+from ..obs.spans import attached as span_attached
 from ..sim.core import Event, Simulator
 from ..sim.latency import CostModel
 from ..sim.resources import Pipe
@@ -155,6 +157,12 @@ class PoolingDriver:
         self._end_ns = 0
 
     def run(self) -> RunResult:
+        spans = spans_active()
+        if spans is not None:
+            # Rebind unconditionally: one session-wide tracer may span
+            # several simulators, and a stale clock from a previous sim
+            # would stamp nonsense wall times on this run's spans.
+            spans.attach_clock(lambda: self.sim.now)
         pipes_by_key = _collect_pipes([ictx.host for ictx in self.instances])
         all_pipes = [pipe for pipes in pipes_by_key.values() for pipe in pipes]
         barrier = _Barrier(
@@ -203,8 +211,18 @@ class PoolingDriver:
             self._end_ns = max(self._end_ns, self.sim.now)
 
     def _one_txn(self, ictx: InstanceCtx, rng: WorkloadRng):
-        stats = self.txn_fn(ictx.engine, rng)
-        yield from ictx.settler.settle()
+        spans = spans_active()
+        if spans is None:
+            stats = self.txn_fn(ictx.engine, rng)
+            yield from ictx.settler.settle()
+            return stats
+        root = spans.begin(
+            "txn", "pooling_txn", meter=ictx.engine.meter, push=False
+        )
+        with span_attached(spans, root):
+            stats = self.txn_fn(ictx.engine, rng)
+        yield from ictx.settler.settle(span=root)
+        spans.end(root)
         return stats
 
 
@@ -240,6 +258,12 @@ class SharingDriver:
         self._end_ns = 0
 
     def run(self) -> RunResult:
+        spans = spans_active()
+        if spans is not None:
+            # Rebind unconditionally: one session-wide tracer may span
+            # several simulators, and a stale clock from a previous sim
+            # would stamp nonsense wall times on this run's spans.
+            spans.attach_clock(lambda: self.sim.now)
         pipes_by_key = _collect_pipes(self.hosts)
         all_pipes = [pipe for pipes in pipes_by_key.values() for pipe in pipes]
         barrier = _Barrier(
@@ -290,18 +314,30 @@ class SharingDriver:
 
     def _one_txn(self, node: MultiPrimaryNode, node_index: int, rng: WorkloadRng):
         ops = self.txn_ops_fn(rng, node_index, self.shared_pct)
+        spans = spans_active()
+        root = (
+            spans.begin("txn", "sharing_txn", meter=node.engine.meter, push=False)
+            if spans is not None
+            else None
+        )
         for op in ops:
             node.engine.meter.charge_ns(self.cost.query_fixed_ns)
             if op.kind == "select":
-                yield from node.point_select(op.table, op.key)
+                yield from node.point_select(op.table, op.key, span_parent=root)
             elif op.kind == "update":
-                yield from node.point_update(op.table, op.key, op.field, op.value)
+                yield from node.point_update(
+                    op.table, op.key, op.field, op.value, span_parent=root
+                )
             elif op.kind == "range":
-                rows = yield from node.range_select(op.table, op.key, op.count)
+                rows = yield from node.range_select(
+                    op.table, op.key, op.count, span_parent=root
+                )
                 node.engine.meter.charge_ns(self.cost.range_row_ns * len(rows))
-                yield from node.settler.settle()
+                yield from node.settler.settle(span=root)
             else:
                 raise ValueError(f"unknown op kind {op.kind!r}")
+        if root is not None:
+            spans.end(root)
         return len(ops)
 
 

@@ -20,7 +20,12 @@ import random
 import pytest
 
 from repro.bench.harness import build_sharing_setup
-from repro.obs import Tracer, assert_trace_invariants
+from repro.obs import (
+    SpanTracer,
+    Tracer,
+    assert_span_invariants,
+    assert_trace_invariants,
+)
 from repro.workloads.sysbench import SysbenchWorkload
 
 N_NODES = 3
@@ -104,13 +109,16 @@ def _run_schedule(setup, rng: random.Random, oracle: dict[int, int]) -> None:
 
 def _stress(setup, base_seed: int) -> None:
     oracle = _oracle_seed(setup)
-    accesses = releases = 0
+    accesses = releases = spans_checked = 0
     for seed in range(N_SEEDS):
-        with Tracer() as tracer:
+        with Tracer() as tracer, SpanTracer() as span_tracer:
             _run_schedule(setup, random.Random(base_seed + seed), oracle)
         stats = assert_trace_invariants(tracer)
+        span_stats = assert_span_invariants(span_tracer)
         accesses += stats.accesses_checked
         releases += stats.releases_checked
+        spans_checked += span_stats.spans
+    assert spans_checked > N_SEEDS
     # The sweep exercised the protocol, not an idle trace.
     assert accesses > N_SEEDS
     assert releases > N_SEEDS
@@ -132,9 +140,10 @@ def test_rdma_sharing_stress(rdma_setup):
     # messages under the same randomized interleavings.
     oracle = _oracle_seed(rdma_setup)
     for seed in range(40):
-        with Tracer() as tracer:
+        with Tracer() as tracer, SpanTracer() as span_tracer:
             _run_schedule(rdma_setup, random.Random(5000 + seed), oracle)
         assert_trace_invariants(tracer)
+        assert_span_invariants(span_tracer)
     for node in rdma_setup.nodes:
         for key in (1, ROWS // 2, ROWS):
             row = rdma_setup.sim.run_process(node.point_select(TABLE, key))

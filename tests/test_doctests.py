@@ -15,6 +15,7 @@ import repro.faults.injector
 import repro.hardware.cache
 import repro.hardware.memory
 import repro.obs.counters
+import repro.obs.spans
 import repro.obs.trace
 import repro.sim.core
 import repro.sim.latency
@@ -29,6 +30,7 @@ DOCUMENTED_MODULES = [
     repro.core.block,
     repro.obs.trace,
     repro.obs.counters,
+    repro.obs.spans,
     repro.faults.injector,
 ]
 
