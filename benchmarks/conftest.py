@@ -58,3 +58,29 @@ def span_tracer():
     from repro.obs import spans as sp
 
     return sp.active()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_memsan():
+    """Install CXL-MemSan for the whole run when --memsan asked for one.
+
+    ``build_sharing_setup`` registers every shared CXL region with the
+    installed detector, so all selected experiments run under race
+    detection; any report fails the session at teardown.
+    """
+    if os.environ.get("REPRO_BENCH_MEMSAN") != "1":
+        yield None
+        return
+    from repro.analysis import memsan
+
+    ms = memsan.active()
+    if ms is not None:  # the caller already installed one
+        yield ms
+        return
+    ms = memsan.MemSan()
+    memsan.install(ms)
+    try:
+        yield ms
+        ms.check()
+    finally:
+        memsan.uninstall(ms)

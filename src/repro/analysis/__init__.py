@@ -1,0 +1,32 @@
+"""Static and dynamic correctness analyses for the reproduction.
+
+* :mod:`repro.analysis.memsan` — CXL-MemSan, a vector-clock
+  happens-before race detector over the simulated software
+  cache-coherency protocol.
+* :mod:`repro.analysis.lint` — the protocol-discipline AST lint
+  (``python -m repro.analysis lint``), rules REPRO001–REPRO005.
+"""
+
+from .memsan import (
+    MemSan,
+    MemSanError,
+    RaceReport,
+    active,
+    install,
+    scoped_actor,
+    uninstall,
+    vc_join,
+    vc_leq,
+)
+
+__all__ = [
+    "MemSan",
+    "MemSanError",
+    "RaceReport",
+    "active",
+    "install",
+    "scoped_actor",
+    "uninstall",
+    "vc_join",
+    "vc_leq",
+]

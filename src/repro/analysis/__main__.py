@@ -1,0 +1,20 @@
+"""CLI: ``python -m repro.analysis lint [paths...]`` (default: ``src``)."""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.analysis lint [paths...]   (default: src)")
+        return 0 if argv else 2
+    if argv[0] != "lint":
+        raise SystemExit(f"unknown analysis command: {argv[0]!r} (try 'lint')")
+    from .lint import main as lint_main
+
+    return lint_main(argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..analysis.memsan import active as memsan_active
 from ..db.bufferpool import BufferPool, BufferPoolFullError, OffsetAccessor
 from ..db.constants import PAGE_SIZE
 from ..db.page import PageView
@@ -214,6 +215,9 @@ class RdmaSharedBufferPool(BufferPool):
             self.hits += 1
             if tracer is not None:
                 tracer.count("rdma.lbp_hits")
+            ms = memsan_active()
+            if ms is not None:
+                ms.page_cached_read(self.node_id, page_id)
         else:
             fix = (
                 spans.begin("page_fix", "lbp_fetch", meter=self.meter, page=page_id)
@@ -243,6 +247,9 @@ class RdmaSharedBufferPool(BufferPool):
                     tracer.count("rdma.lbp_refetches")
             self.mapped.write(frame * PAGE_SIZE, image)
             self._invalid.discard(page_id)
+            ms = memsan_active()
+            if ms is not None:
+                ms.page_fetch(self.node_id, page_id)
             if fix is not None:
                 spans.end(fix)
         self._touch(page_id)
@@ -290,6 +297,9 @@ class RdmaSharedBufferPool(BufferPool):
         """
         frame = self._frame_of[page_id]
         image = self.mapped.read(frame * PAGE_SIZE, PAGE_SIZE)
+        ms = memsan_active()
+        if ms is not None:
+            ms.page_publish(self.node_id, page_id)
         spans = spans_active()
         if spans is None:
             return self.server.write_page_on_release(
@@ -332,6 +342,9 @@ class RdmaSharedBufferPool(BufferPool):
             self._free_frames.append(frame)
         self._invalid.discard(page_id)
         self._registered.discard(page_id)
+        ms = memsan_active()
+        if ms is not None:
+            ms.page_dropped(self.node_id, page_id)
 
     # -- internals ----------------------------------------------------------------------------------
 
@@ -351,6 +364,9 @@ class RdmaSharedBufferPool(BufferPool):
         frame = self._frame_of.pop(victim)
         del self._lru[victim]
         self._invalid.discard(victim)
+        ms = memsan_active()
+        if ms is not None:
+            ms.page_dropped(self.node_id, victim)
         return frame
 
     @property

@@ -35,6 +35,7 @@ EXPERIMENTS = {
     "ablations": "test_ablations.py",
     "counters": "test_counters_amplification.py",
     "spans": "test_spans_breakdown.py",
+    "memsan": "test_memsan_fig13.py",
 }
 
 
@@ -71,16 +72,23 @@ def main(argv: list[str]) -> int:
     # selected experiment also prints its span-derived latency breakdown.
     with_spans = "--spans" in argv
     argv = [arg for arg in argv if arg != "--spans"]
+    # --memsan: install the CXL-MemSan race detector inside the
+    # benchmark process (via REPRO_BENCH_MEMSAN, consumed by
+    # benchmarks/conftest.py); any race report fails the run.
+    with_memsan = "--memsan" in argv
+    argv = [arg for arg in argv if arg != "--memsan"]
     if not argv and with_counters:
         argv = ["counters"]
     if not argv and with_spans:
         argv = ["spans"]
+    if not argv and with_memsan:
+        argv = ["memsan"]
     if not argv or argv[0] in ("-h", "--help", "list"):
         print("experiments:")
         for name, filename in EXPERIMENTS.items():
             print(f"  {name:10s} benchmarks/{filename}")
         print(f"  {'perf':10s} wall-clock perf harness -> BENCH_perf.json")
-        print("\nusage: python -m repro.bench [--counters] [--spans] <experiment>... | all")
+        print("\nusage: python -m repro.bench [--counters] [--spans] [--memsan] <experiment>... | all")
         print("       python -m repro.bench perf [--quick] [--min-speedup X] [--out PATH]")
         return 0
     names = list(EXPERIMENTS) if argv == ["all"] else argv
@@ -88,6 +96,8 @@ def main(argv: list[str]) -> int:
         names.append("counters")
     if with_spans and "spans" not in names:
         names.append("spans")
+    if with_memsan and "memsan" not in names:
+        names.append("memsan")
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
@@ -105,6 +115,8 @@ def main(argv: list[str]) -> int:
     env = dict(os.environ)
     if with_spans or "spans" in names:
         env["REPRO_BENCH_SPANS"] = "1"
+    if with_memsan or "memsan" in names:
+        env["REPRO_BENCH_MEMSAN"] = "1"
     return subprocess.call(command, env=env)
 
 

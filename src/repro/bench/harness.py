@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..analysis.memsan import active as memsan_active
 from ..baselines.rdma_bufferpool import RemoteMemoryNode, TieredRdmaBufferPool
 from ..baselines.rdma_sharing import RdmaDbpServer, RdmaSharedBufferPool
 from ..core.coherency import FLAG_BYTES_PER_ENTRY, FlagSlab
@@ -455,6 +456,12 @@ def build_sharing_setup(
             MultiPrimaryNode(f"node{i}", engine, lock_service, settler)
         )
         setup.hosts.append(host)
+    ms = memsan_active()
+    if ms is not None:
+        # A race detector installed before the build (``python -m
+        # repro.bench --memsan``, or a test's MemSan) watches the shared
+        # CXL region automatically; rdma/cxl3 need no region watch.
+        ms.watch_setup(setup)
     return setup
 
 

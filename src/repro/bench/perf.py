@@ -1,3 +1,5 @@
+# repro-lint: allow-file(REPRO001) -- wall-clock measurement is this
+# module's whole purpose; simulation code must stay on virtual time.
 """Wall-clock performance harness: ``python -m repro.bench perf``.
 
 The ROADMAP's north star includes "runs as fast as the hardware allows";
@@ -374,6 +376,36 @@ def bench_spans_overhead(n_accesses: int) -> tuple[float, float]:
     return off, n_accesses / elapsed
 
 
+def bench_memsan_overhead(n_accesses: int) -> tuple[float, float]:
+    """(memsan-off, memsan-on) metered reads/second on the optimized path.
+
+    The "off" side is the instrumented code with no MemSan installed —
+    one global load plus a None check per region access — and is what
+    the ``disabled_speedup`` gate under ``memsan_overhead`` holds
+    against the pre-PR reference. The "on" side watches the region and
+    runs inside an actor scope, so every access walks the per-line
+    vector-clock state: the priced, opt-in debugging mode.
+    """
+    from ..analysis.memsan import MemSan
+
+    off = bench_metered_access(n_accesses, optimized=True)
+    region_bytes = 4 << 20
+    mapped, meter = _build_mapped(True, region_bytes)
+    n_slots = region_bytes // 32
+    with MemSan() as ms:
+        ms.watch_region("perf")
+        with ms.actor("perf-bench"):
+            start = time.perf_counter()
+            read = mapped.read
+            for i in range(n_accesses):
+                read((i * 7919 % n_slots) * 32, 32)
+                if not i % 4096:
+                    _drain(meter)
+            elapsed = time.perf_counter() - start
+        ms.check()
+    return off, n_accesses / elapsed
+
+
 def bench_fig7_slice() -> dict:
     """End-to-end slice of the figure-7 pooling benchmark (CXL system)."""
     from ..workloads.driver import PoolingDriver
@@ -454,6 +486,7 @@ def run_perf(quick: bool = False) -> dict:
     pb_opt = bench_page_burst(n_pages, optimized=True)
     tr_off, tr_on = bench_tracer_overhead(n_accesses)
     sp_off, sp_on = bench_spans_overhead(n_accesses)
+    msn_off, msn_on = bench_memsan_overhead(n_accesses)
     fig7 = bench_fig7_slice()
 
     return {
@@ -484,6 +517,12 @@ def run_perf(quick: bool = False) -> dict:
             "spans_on_per_sec": round(sp_on),
             "overhead_pct": round((sp_off / sp_on - 1.0) * 100, 1),
             "disabled_speedup": round(sp_off / ma_ref, 3),
+        },
+        "memsan_overhead": {
+            "memsan_off_per_sec": round(msn_off),
+            "memsan_on_per_sec": round(msn_on),
+            "overhead_pct": round((msn_off / msn_on - 1.0) * 100, 1),
+            "disabled_speedup": round(msn_off / ma_ref, 3),
         },
         "fig7_slice": fig7,
         "notes": (
@@ -536,6 +575,12 @@ def main(argv: list[str]) -> int:
         f"on {sp['spans_on_per_sec']:,}/s  (+{sp['overhead_pct']}%)  "
         f"disabled {sp['disabled_speedup']:.2f}x vs pre-PR reference"
     )
+    msn = report["memsan_overhead"]
+    print(
+        f"  {'memsan':16s} off {msn['memsan_off_per_sec']:,}/s  "
+        f"on {msn['memsan_on_per_sec']:,}/s  (+{msn['overhead_pct']}%)  "
+        f"disabled {msn['disabled_speedup']:.2f}x vs pre-PR reference"
+    )
     fig7 = report["fig7_slice"]
     print(
         f"  {'fig7 slice':16s} {fig7['wall_s']}s wall, qps={fig7['qps']}, "
@@ -563,6 +608,19 @@ def main(argv: list[str]) -> int:
         return 1
     print(
         f"OK: spans-disabled metered access {disabled:.2f}x >= "
+        f"{min_speedup:.2f}x gate"
+    )
+    memsan_disabled = report["memsan_overhead"]["disabled_speedup"]
+    if memsan_disabled < min_speedup:
+        print(
+            f"FAIL: memsan-disabled metered access {memsan_disabled:.2f}x is "
+            f"below the {min_speedup:.2f}x gate — the race-detector hooks "
+            f"cost too much when no MemSan is installed (see PERFORMANCE.md)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: memsan-disabled metered access {memsan_disabled:.2f}x >= "
         f"{min_speedup:.2f}x gate"
     )
     return 0

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..analysis.memsan import active as memsan_active
 from ..hardware.memory import AccessMeter, MemoryRegion
 from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
@@ -42,7 +43,13 @@ def set_remote_flag(
     value: bool = True,
 ) -> None:
     """One CXL store to a flag byte, charged to the acting meter."""
-    region.write(addr, b"\x01" if value else b"\x00")
+    ms = memsan_active()
+    if ms is None:
+        region.write(addr, b"\x01" if value else b"\x00")
+    else:
+        with ms.internal():
+            region.write(addr, b"\x01" if value else b"\x00")
+        ms.flag_store(region.name, addr, value)
     if meter is not None:
         meter.charge_ns(config.cxl_flag_store_ns)
         meter.count("flag_stores")
@@ -127,7 +134,13 @@ class FlagSlab:
             # An uncached CXL load — attributed to the cxl_access bucket
             # of whichever span (page_fix, usually) is doing the read.
             spans.add_ns("cxl_access", self._flag_read_ns)
-        return self.region.read(addr, 1) != b"\x00"
+        ms = memsan_active()
+        if ms is None:
+            return self.region.read(addr, 1) != b"\x00"
+        with ms.internal():
+            value = self.region.read(addr, 1) != b"\x00"
+        ms.flag_read(self.region.name, addr, value)
+        return value
 
     def _check(self, entry: int) -> None:
         if not 0 <= entry < self.n_entries:

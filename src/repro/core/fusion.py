@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Generator, Iterable, Optional
 
+from ..analysis.memsan import active as memsan_active
 from ..db.constants import PAGE_SIZE
 from ..faults.injector import active as fault_injector
 from ..faults.injector import crash_point
@@ -147,6 +148,10 @@ class BufferFusionServer:
         self.pages_loaded = 0
         self.pages_recycled = 0
         self.invalidations_pushed = 0
+        # TEST-ONLY mutation switch for the memsan self-tests (see
+        # tests/analysis/test_memsan_protocol.py): drop the invalid-flag
+        # pushes on write release, leaving readers with stale caches.
+        self._mutate_skip_invalidate = False
 
     # -- node RPCs -----------------------------------------------------------------------
 
@@ -180,27 +185,34 @@ class BufferFusionServer:
         tracer = obs_active()
         if tracer is not None:
             tracer.count("fusion.rpcs")
-        entry = self._entries.get(page_id)
-        if entry is None:
-            slot = self._claim_slot(meter)
-            image = self.page_store.read_page_unmetered(page_id)
-            meter.charge_transfer(
-                "storage", PAGE_SIZE, base_ns=self.config.storage_read_base_ns
-            )
-            self.region.write(self.data_offset_of_slot(slot), image)
-            meter.charge_ns(self.config.cxl_write_ns(PAGE_SIZE))
-            meter.charge_transfer("cxl", PAGE_SIZE)
-            # Crash (of the requesting node) here: the page sits in its
-            # slot but no node is registered for it yet.
-            crash_point("fusion.request.loaded")
-            entry = FusionEntry(slot)
-            self._entries[page_id] = entry
-            self.pages_loaded += 1
-            if tracer is not None:
-                tracer.count("fusion.pages_loaded")
-        self._entries.move_to_end(page_id)
-        entry.active[node_id] = (invalid_addr, removal_addr)
-        return self.data_offset_of_slot(entry.slot)
+        ms = memsan_active()
+        if ms is not None:
+            ms.rpc_acquire("fusion")
+        try:
+            entry = self._entries.get(page_id)
+            if entry is None:
+                slot = self._claim_slot(meter)
+                image = self.page_store.read_page_unmetered(page_id)
+                meter.charge_transfer(
+                    "storage", PAGE_SIZE, base_ns=self.config.storage_read_base_ns
+                )
+                self.region.write(self.data_offset_of_slot(slot), image)
+                meter.charge_ns(self.config.cxl_write_ns(PAGE_SIZE))
+                meter.charge_transfer("cxl", PAGE_SIZE)
+                # Crash (of the requesting node) here: the page sits in its
+                # slot but no node is registered for it yet.
+                crash_point("fusion.request.loaded")
+                entry = FusionEntry(slot)
+                self._entries[page_id] = entry
+                self.pages_loaded += 1
+                if tracer is not None:
+                    tracer.count("fusion.pages_loaded")
+            self._entries.move_to_end(page_id)
+            entry.active[node_id] = (invalid_addr, removal_addr)
+            return self.data_offset_of_slot(entry.slot)
+        finally:
+            if ms is not None:
+                ms.rpc_release("fusion")
 
     def note_touch(self, page_id: int) -> None:
         """Cheap LRU maintenance on the DBP (no RPC — piggybacked)."""
@@ -223,27 +235,36 @@ class BufferFusionServer:
         # Crash (of the writer node) here: its lines are flushed to CXL
         # but no other node was told — failover pushes the flags.
         crash_point("fusion.release.dirty")
-        pushed = 0
-        tracer = obs_active()
-        for node_id, (invalid_addr, _) in entry.active.items():
-            if node_id == writer_node or not invalid_addr:
-                # Address 0 = the node registered no flags (hardware-
-                # coherent mode, repro.core.hw_coherent).
-                continue
-            set_remote_flag(self.region, invalid_addr, meter, self.config)
-            pushed += 1
-            if tracer is not None:
-                tracer.emit(
-                    "fusion",
-                    "invalidate_push",
-                    page=page_id,
-                    writer=writer_node,
-                    target=node_id,
-                )
-        self.invalidations_pushed += pushed
-        if tracer is not None and pushed:
-            tracer.count("fusion.invalidations_pushed", pushed)
-        return pushed
+        ms = memsan_active()
+        if ms is not None:
+            ms.rpc_acquire("fusion")
+        try:
+            pushed = 0
+            tracer = obs_active()
+            for node_id, (invalid_addr, _) in entry.active.items():
+                if node_id == writer_node or not invalid_addr:
+                    # Address 0 = the node registered no flags (hardware-
+                    # coherent mode, repro.core.hw_coherent).
+                    continue
+                if self._mutate_skip_invalidate:
+                    continue
+                set_remote_flag(self.region, invalid_addr, meter, self.config)
+                pushed += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "fusion",
+                        "invalidate_push",
+                        page=page_id,
+                        writer=writer_node,
+                        target=node_id,
+                    )
+            self.invalidations_pushed += pushed
+            if tracer is not None and pushed:
+                tracer.count("fusion.invalidations_pushed", pushed)
+            return pushed
+        finally:
+            if ms is not None:
+                ms.rpc_release("fusion")
 
     def deregister(self, page_id: int, node_id: str) -> None:
         entry = self._entries.get(page_id)
@@ -332,6 +353,9 @@ class BufferFusionServer:
                     rebuilt += 1
             if lock_service is not None:
                 lock_service.force_release_write(page_id)
+                ms = memsan_active()
+                if ms is not None:
+                    ms.lock_force_released(page_id)
         if lock_service is not None:
             for page_id in read_locked_pages:
                 lock_service.force_release_read(page_id)
@@ -354,37 +378,46 @@ class BufferFusionServer:
         Sets the ``removal`` flag for every node that had the page
         active. Returns the recycled page ids.
         """
-        recycled: list[int] = []
-        for page_id in list(self._entries):
-            if len(recycled) >= count:
-                break
-            if lock_service is not None and lock_service.is_write_locked(page_id):
-                continue
-            entry = self._entries.pop(page_id)
-            if entry.dirty:
-                image = self.region.read(self.data_offset_of_slot(entry.slot), PAGE_SIZE)
-                self.page_store.write_page(page_id, image)
-                # Crash here: page durably written, removal flags not yet
-                # pushed — nodes keep a valid (if recycled-from-under-
-                # them-later) address until the next recycle pass.
-                crash_point("fusion.recycle.written")
-            tracer = obs_active()
-            for node_id, (_, removal_addr) in entry.active.items():
-                if removal_addr:
-                    set_remote_flag(self.region, removal_addr, meter, self.config)
-                    if tracer is not None:
-                        tracer.emit(
-                            "fusion",
-                            "removal_push",
-                            page=page_id,
-                            target=node_id,
-                        )
-            self._free.append(entry.slot)
-            recycled.append(page_id)
-            self.pages_recycled += 1
-            if tracer is not None:
-                tracer.count("fusion.pages_recycled")
-        return recycled
+        ms = memsan_active()
+        if ms is not None:
+            ms.rpc_acquire("fusion")
+        try:
+            recycled: list[int] = []
+            for page_id in list(self._entries):
+                if len(recycled) >= count:
+                    break
+                if lock_service is not None and lock_service.is_write_locked(page_id):
+                    continue
+                entry = self._entries.pop(page_id)
+                if entry.dirty:
+                    image = self.region.read(
+                        self.data_offset_of_slot(entry.slot), PAGE_SIZE
+                    )
+                    self.page_store.write_page(page_id, image)
+                    # Crash here: page durably written, removal flags not yet
+                    # pushed — nodes keep a valid (if recycled-from-under-
+                    # them-later) address until the next recycle pass.
+                    crash_point("fusion.recycle.written")
+                tracer = obs_active()
+                for node_id, (_, removal_addr) in entry.active.items():
+                    if removal_addr:
+                        set_remote_flag(self.region, removal_addr, meter, self.config)
+                        if tracer is not None:
+                            tracer.emit(
+                                "fusion",
+                                "removal_push",
+                                page=page_id,
+                                target=node_id,
+                            )
+                self._free.append(entry.slot)
+                recycled.append(page_id)
+                self.pages_recycled += 1
+                if tracer is not None:
+                    tracer.count("fusion.pages_recycled")
+            return recycled
+        finally:
+            if ms is not None:
+                ms.rpc_release("fusion")
 
     # -- helpers -----------------------------------------------------------------------------
 

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from time import perf_counter
 
 from ..db.constants import OFF_LSN, PAGE_SIZE
 from ..faults.injector import active as fault_injector
@@ -106,7 +105,6 @@ class PolarRecv:
             if spans is not None
             else None
         )
-        phase_start = perf_counter() if tracer is not None else 0.0
         self.redo_log.recover_lsn_counter()
         durable_max = self.redo_log.durable_max_lsn
         pool = CxlBufferPool(
@@ -190,10 +188,6 @@ class PolarRecv:
                 rebuilt=stats.pages_rebuilt,
             )
             relink_span = spans.begin("recovery_phase", "relink", meter=meter)
-        if tracer is not None:
-            now = perf_counter()
-            tracer.observe("recv.phase_scan_s", now - phase_start)
-            phase_start = now
         in_use_set = set(in_use)
         if pool.header.lru_mutation_flag or not self._lru_valid(pool, in_use_set):
             pool.rebuild_lru(in_use)
@@ -206,7 +200,6 @@ class PolarRecv:
         if scan_span is not None:
             spans.end(relink_span, lru_rebuilt=stats.lru_rebuilt)
         if tracer is not None:
-            tracer.observe("recv.phase_relink_s", perf_counter() - phase_start)
             tracer.count("recv.recoveries")
             tracer.count("recv.blocks_scanned", stats.blocks_scanned)
             tracer.count("recv.pages_kept", stats.pages_kept)

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..analysis.memsan import active as memsan_active
+from ..analysis.memsan import scoped_actor
 from ..db.bufferpool import BufferPool
 from ..db.constants import PAGE_SIZE
 from ..db.engine import Engine
@@ -109,6 +111,11 @@ class SharedCxlBufferPool(BufferPool):
         self.invalidations_observed = 0
         self.removals_observed = 0
         self.rpc_retries = 0
+        # TEST-ONLY protocol mutations (memsan self-test; see
+        # tests/analysis/test_memsan_protocol.py). Production code never
+        # sets these.
+        self._mutate_skip_flush = False
+        self._mutate_clear_before_invalidate = False
 
     # -- BufferPool interface --------------------------------------------------------------
 
@@ -150,11 +157,22 @@ class SharedCxlBufferPool(BufferPool):
                 # lock protocol guarantees it) cached lines so the next
                 # loads see the CXL copy.
                 self.invalidations_observed += 1
-                dropped = self.cpu_cache.invalidate(
-                    self.region, meta.data_offset, PAGE_SIZE
-                )
+                if self._mutate_clear_before_invalidate:
+                    # Seeded mutation 3: clearing the flag before the
+                    # invalidation reopens the stale-read window the
+                    # flag closes. Functionally invisible here (the
+                    # lines are dropped either way within this call) —
+                    # only memsan sees the ordering violation.
+                    self._clear_invalid_checked(meta)
+                    dropped = self.cpu_cache.invalidate(
+                        self.region, meta.data_offset, PAGE_SIZE
+                    )
+                else:
+                    dropped = self.cpu_cache.invalidate(
+                        self.region, meta.data_offset, PAGE_SIZE
+                    )
+                    self._clear_invalid_checked(meta)
                 self.meter.charge_ns(dropped * _INVALIDATE_LINE_NS)
-                self.flag_slab.clear_invalid(meta.entry)
                 if tracer is not None:
                     tracer.count("sharing.invalidations_observed")
             if tracer is not None:
@@ -234,7 +252,19 @@ class SharedCxlBufferPool(BufferPool):
             if tracer is not None
             else 0
         )
-        written = self.cpu_cache.clflush(self.region, meta.data_offset, PAGE_SIZE)
+        if self._mutate_skip_flush:
+            # Seeded mutation 1: release the write lock without the
+            # clflush — CXL memory keeps the old bytes.
+            written = 0
+        else:
+            written = self.cpu_cache.clflush(
+                self.region, meta.data_offset, PAGE_SIZE
+            )
+        ms = memsan_active()
+        if ms is not None:
+            ms.assert_flushed(
+                self.cpu_cache.name, self.region.name, meta.data_offset, PAGE_SIZE
+            )
         self.meter.count("lines_flushed", written)
         if tracer is not None:
             tracer.count("sharing.lines_flushed", written)
@@ -334,6 +364,16 @@ class SharedCxlBufferPool(BufferPool):
                 return
         raise RuntimeError("page metadata buffer exhausted (all pinned)")
 
+    def _clear_invalid_checked(self, meta: _NodePageMeta) -> None:
+        """Clear the invalid flag; memsan verifies no stale cached line
+        survives the clear (the mutation-3 ordering check)."""
+        ms = memsan_active()
+        if ms is not None:
+            ms.invalid_cleared(
+                self.cpu_cache.name, self.region.name, meta.data_offset, PAGE_SIZE
+            )
+        self.flag_slab.clear_invalid(meta.entry)
+
     def _drop_entry(self, page_id: int, meta: _NodePageMeta) -> None:
         del self._meta[page_id]
         self._free_entries.append(meta.entry)
@@ -392,11 +432,14 @@ class MultiPrimaryNode:
             if spans is not None
             else None
         )
-        with span_attached(spans, op):
+        with span_attached(spans, op), scoped_actor(self.node_id):
             leaf_id = self._leaf_of(table_name, key)
         yield from self.settler.settle(span=op)
         t_lock = self.settler.sim.now
         yield from self.lock_service.lock_read(leaf_id)
+        ms = memsan_active()
+        if ms is not None:
+            ms.lock_acquired(self.node_id, leaf_id)
         if op is not None:
             spans.record(
                 "lock_wait",
@@ -410,7 +453,7 @@ class MultiPrimaryNode:
         if tracer is not None:
             tracer.count("lock.read_acquires")
         try:
-            with span_attached(spans, op):
+            with span_attached(spans, op), scoped_actor(self.node_id):
                 mtr = self.engine.mtr()
                 row = self.engine.tables[table_name].get(mtr, key)
                 mtr.commit()
@@ -442,11 +485,14 @@ class MultiPrimaryNode:
             if spans is not None
             else None
         )
-        with span_attached(spans, op):
+        with span_attached(spans, op), scoped_actor(self.node_id):
             leaf_id = self._leaf_of(table_name, key)
         yield from self.settler.settle(span=op)
         t_lock = self.settler.sim.now
         yield from self.lock_service.lock_write(leaf_id)
+        ms = memsan_active()
+        if ms is not None:
+            ms.lock_acquired(self.node_id, leaf_id)
         if op is not None:
             spans.record(
                 "lock_wait",
@@ -461,7 +507,7 @@ class MultiPrimaryNode:
             tracer.count("lock.write_acquires")
             tracer.emit("lock", "write_acquire", node=self.node_id, page=leaf_id)
         try:
-            with span_attached(spans, op):
+            with span_attached(spans, op), scoped_actor(self.node_id):
                 txn = self.engine.begin()
                 mtr = txn.mtr()
                 found = self.engine.tables[table_name].update_field(
@@ -501,11 +547,14 @@ class MultiPrimaryNode:
             if spans is not None
             else None
         )
-        with span_attached(spans, op):
+        with span_attached(spans, op), scoped_actor(self.node_id):
             leaf_id = self._leaf_of(table_name, start_key)
         yield from self.settler.settle(span=op)
         t_lock = self.settler.sim.now
         yield from self.lock_service.lock_read(leaf_id)
+        ms = memsan_active()
+        if ms is not None:
+            ms.lock_acquired(self.node_id, leaf_id)
         if op is not None:
             spans.record(
                 "lock_wait",
@@ -519,7 +568,7 @@ class MultiPrimaryNode:
         if tracer is not None:
             tracer.count("lock.read_acquires")
         try:
-            with span_attached(spans, op):
+            with span_attached(spans, op), scoped_actor(self.node_id):
                 mtr = self.engine.mtr()
                 rows = self.engine.tables[table_name].range(mtr, start_key, count)
                 mtr.commit()
@@ -535,9 +584,15 @@ class MultiPrimaryNode:
         return rows
 
     def _unlock_read(self, leaf_id: int) -> None:
+        ms = memsan_active()
+        if ms is not None:
+            ms.lock_released(self.node_id, leaf_id)
         self.lock_service.unlock_read(leaf_id)
         self.read_locks_held.discard(leaf_id)
 
     def _unlock_write(self, leaf_id: int) -> None:
+        ms = memsan_active()
+        if ms is not None:
+            ms.lock_released(self.node_id, leaf_id)
         self.lock_service.unlock_write(leaf_id)
         self.write_locks_held.discard(leaf_id)

@@ -1,0 +1,57 @@
+"""Registry of named crash points (enforced by lint rule REPRO002).
+
+Every literal crash-point name used with ``crash_point(...)``,
+``FaultInjector.point(...)`` or ``FaultInjector.arm(...)`` inside
+``src/`` must appear here; ``python -m repro.analysis lint`` fails on
+any literal it cannot find in this set.  The registry keeps point names
+greppable in one place and catches typos that would otherwise make a
+sweep silently skip a coordinate (an armed name that no code path ever
+reaches).  ``tests/analysis/test_lint.py`` additionally asserts the
+inverse: every registered name is still used somewhere in ``src/``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["REGISTERED_POINTS"]
+
+REGISTERED_POINTS = frozenset(
+    {
+        # hardware
+        "cache.clflush.line",
+        "memmgr.allocate",
+        # storage
+        "pagestore.write_page",
+        "wal.append",
+        "wal.flush.begin",
+        "wal.flush.durable",
+        # db engine (mini-transactions)
+        "mtr.commit.begin",
+        "mtr.commit.staged",
+        "mtr.commit.unlatched",
+        "mtr.write.applied",
+        # CXL buffer pool
+        "pool.claim.free",
+        "pool.evict.unlinked",
+        "pool.evict.victim",
+        "pool.flush.clean",
+        "pool.flush.read",
+        "pool.get.loaded",
+        "pool.get.meta_set",
+        "pool.lru.push",
+        "pool.lru.remove",
+        "pool.new.formatted",
+        # sharing protocol + buffer fusion
+        "node.update.logged",
+        "sharing.flush.lines",
+        "fusion.request.loaded",
+        "fusion.release.dirty",
+        "fusion.recycle.written",
+        # recovery
+        "recovery.done",
+        "recovery.lru",
+        "recovery.rebuild.done",
+        "recovery.rebuild.image",
+        "recovery.rebuild.marked",
+        "recovery.scan",
+    }
+)

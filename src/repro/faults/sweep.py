@@ -44,6 +44,8 @@ import random
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from ..analysis.memsan import MemSan
+from ..analysis.memsan import active as memsan_active
 from ..core.block import pool_bytes_needed
 from ..core.cxl_bufferpool import CxlBufferPool
 from ..core.memmgr import CxlMemoryManager
@@ -556,6 +558,19 @@ def _run_sharing_ops(
             setup.sim.run_process(node.point_select(_SHARED_TABLE, op[2]))
 
 
+def _sweep_memsan(setup) -> MemSan | None:
+    """A race detector over the shared CXL region for one sweep run,
+    unless the caller already installed one (then their instance covers
+    the run). Single-node sweeps are not worth watching: with one actor
+    there are no cross-node edges for a happens-before checker to miss.
+    """
+    if memsan_active() is not None:
+        return None
+    ms = MemSan()
+    ms.watch_setup(setup)
+    return ms
+
+
 def _sharing_golden(seed: int) -> _GoldenRun:
     setup = _build_sharing(seed)
     model = _sharing_prephase(setup)
@@ -563,16 +578,20 @@ def _sharing_golden(seed: int) -> _GoldenRun:
     injector = FaultInjector(seed=seed)
     tracer = _golden_tracer()
     span_tracer = _sweep_spans()
-    with tracer or nullcontext(), span_tracer or nullcontext(), injector:
-        _run_sharing_ops(setup, _sharing_ops(), model, snapshots, [0])
-    if tracer is not None:
-        assert_trace_invariants(tracer)
-    _check_spans(span_tracer, allow_abandoned=False)
-    reader = setup.nodes[1]
-    for key in _SHARED_KEYS:
-        row = setup.sim.run_process(reader.point_select(_SHARED_TABLE, key))
-        if row is None or row["k"] != model[key]:
-            raise CrashSweepError("sharing golden run inconsistent")
+    ms = _sweep_memsan(setup)
+    with ms or nullcontext():
+        with tracer or nullcontext(), span_tracer or nullcontext(), injector:
+            _run_sharing_ops(setup, _sharing_ops(), model, snapshots, [0])
+        if tracer is not None:
+            assert_trace_invariants(tracer)
+        _check_spans(span_tracer, allow_abandoned=False)
+        reader = setup.nodes[1]
+        for key in _SHARED_KEYS:
+            row = setup.sim.run_process(reader.point_select(_SHARED_TABLE, key))
+            if row is None or row["k"] != model[key]:
+                raise CrashSweepError("sharing golden run inconsistent")
+    if ms is not None:
+        ms.check()
     return _GoldenRun(list(injector.trace), snapshots, model)
 
 
@@ -583,6 +602,28 @@ def _sharing_crash_and_failover(
     model = _sharing_prephase(setup)
     injector = FaultInjector(seed=seed).arm(point, hit)
     span_tracer = _sweep_spans()
+    ms = _sweep_memsan(setup)
+    with ms or nullcontext():
+        outcome = _sharing_crash_inner(
+            setup, point, hit, golden, model, injector, span_tracer, ms
+        )
+    if ms is not None and ms.reports and outcome.ok:
+        return SweepOutcome(
+            point, hit, outcome.crashed, False, f"memsan: {ms.reports[0]}"
+        )
+    return outcome
+
+
+def _sharing_crash_inner(
+    setup,
+    point: str,
+    hit: int,
+    golden: _GoldenRun,
+    model: dict,
+    injector: FaultInjector,
+    span_tracer,
+    ms: MemSan | None,
+) -> SweepOutcome:
     executing = [0]
     crashed = False
     try:
@@ -602,14 +643,20 @@ def _sharing_crash_and_failover(
     dead.engine.crash()
     setup.hosts[executing[0]].crash()
     assert setup.fusion is not None
-    setup.fusion.recover_node_failure(
-        dead.node_id,
-        dead.engine.redo_log,
-        AccessMeter(),
-        lock_service=setup.lock_service,
-        write_locked_pages=sorted(dead.write_locks_held),
-        read_locked_pages=sorted(dead.read_locks_held),
-    )
+    if ms is not None:
+        # Failover is ordered after everything the dead node did (its
+        # durable redo supersedes the lost writes), so the failover
+        # actor inherits the dead node's clock before the rebuild.
+        ms.actor_crashed(dead.node_id, inheritor="failover")
+    with ms.actor("failover") if ms is not None else nullcontext():
+        setup.fusion.recover_node_failure(
+            dead.node_id,
+            dead.engine.redo_log,
+            AccessMeter(),
+            lock_service=setup.lock_service,
+            write_locked_pages=sorted(dead.write_locks_held),
+            read_locked_pages=sorted(dead.read_locks_held),
+        )
 
     # Committed state: whatever the *writer's* durable log contains. The
     # oracle only knows keys it observed or wrote, so verify exactly those.

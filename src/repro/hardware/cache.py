@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..analysis.memsan import active as memsan_active
 from ..faults.injector import crash_point
 from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
@@ -196,14 +197,20 @@ class CpuCache:
             buf[line_off : line_off + nbytes] = data
             entry[0] = bytes(buf)
             entry[1] = True
+            ms = memsan_active()
+            if ms is not None:
+                ms.cache_store(self.name, region.name, line)
             return
         pos = 0
+        ms = memsan_active()
         for line, line_off, span in _line_spans(offset, nbytes):
             entry = self._load_entry(region, line)
             buf = bytearray(entry[0])
             buf[line_off : line_off + span] = data[pos : pos + span]
             entry[0] = bytes(buf)
             entry[1] = True
+            if ms is not None:
+                ms.cache_store(self.name, region.name, line)
             pos += span
 
     def clflush(self, region: MemoryRegion, offset: int, nbytes: int) -> int:
@@ -214,6 +221,7 @@ class CpuCache:
         number of dirty lines written back.
         """
         written = 0
+        ms = memsan_active()
         for line in _line_range(offset, nbytes):
             # Crash between line flushes: lines already flushed are in
             # the backing region, the rest die dirty in this cache — a
@@ -224,8 +232,15 @@ class CpuCache:
             if entry is None:
                 continue
             if entry[1]:
-                region.write(line * CACHE_LINE, entry[0])
+                if ms is None:
+                    region.write(line * CACHE_LINE, entry[0])
+                else:
+                    with ms.internal():
+                        region.write(line * CACHE_LINE, entry[0])
+                    ms.cache_flush_line(self.name, region.name, line, dirty=True)
                 written += 1
+            elif ms is not None:
+                ms.cache_flush_line(self.name, region.name, line, dirty=False)
         self.write_backs += written
         if self.meter is not None and written:
             self._charge_writeback(written)
@@ -242,9 +257,12 @@ class CpuCache:
         per-line invalidation cost.
         """
         dropped = 0
+        ms = memsan_active()
         for line in _line_range(offset, nbytes):
             if self._lines.pop((region.name, line), None) is not None:
                 dropped += 1
+                if ms is not None:
+                    ms.cache_invalidate_line(self.name, region.name, line)
         tracer = obs_active()
         if tracer is not None and dropped:
             tracer.count("cache.lines_invalidated", dropped)
@@ -253,6 +271,9 @@ class CpuCache:
     def drop_all(self) -> None:
         """Crash semantics: every cached line, dirty or not, is gone."""
         self._lines.clear()
+        ms = memsan_active()
+        if ms is not None:
+            ms.cache_dropped(self.name)
 
     def dirty_lines(self, region: MemoryRegion, offset: int, nbytes: int) -> int:
         """How many lines in the range are dirty (diagnostics/tests)."""
@@ -268,8 +289,14 @@ class CpuCache:
     def _load_entry(self, region: MemoryRegion, line: int) -> list:
         key = (region.name, line)
         entry = self._lines.get(key)
+        ms = memsan_active()
         if entry is None:
-            data = region.read(line * CACHE_LINE, CACHE_LINE)
+            if ms is None:
+                data = region.read(line * CACHE_LINE, CACHE_LINE)
+            else:
+                with ms.internal():
+                    data = region.read(line * CACHE_LINE, CACHE_LINE)
+                ms.cache_load(self.name, region.name, line, fetched=True)
             entry = [data, False]
             self._lines[key] = entry
             self.fills += 1
@@ -287,6 +314,8 @@ class CpuCache:
         else:
             self._lines.move_to_end(key)
             self.stale_serves += 1
+            if ms is not None:
+                ms.cache_load(self.name, region.name, line, fetched=False)
             if self.meter is not None:
                 self.meter.charge_ns(self.hit_ns)
                 spans = spans_active()
@@ -300,12 +329,18 @@ class CpuCache:
     def _evict_if_needed(self) -> None:
         while len(self._lines) > self.capacity_lines:
             (region_name, line), entry = self._lines.popitem(last=False)
+            ms = memsan_active()
             if entry[1]:
                 # Background write-back of a dirty line on capacity eviction
                 # — this is the "flushed to CXL memory in the background"
                 # hazard from §3.3.
                 region = self._regions[region_name]
-                region.write(line * CACHE_LINE, entry[0])
+                if ms is None:
+                    region.write(line * CACHE_LINE, entry[0])
+                else:
+                    with ms.internal():
+                        region.write(line * CACHE_LINE, entry[0])
+                    ms.cache_flush_line(self.name, region_name, line, dirty=True)
                 self.write_backs += 1
                 if self.meter is not None:
                     self._charge_writeback(1)
@@ -319,6 +354,8 @@ class CpuCache:
                         region=region_name,
                         line=line,
                     )
+            elif ms is not None:
+                ms.cache_invalidate_line(self.name, region_name, line)
 
     def _charge_writeback(self, lines: int) -> None:
         assert self.meter is not None

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..analysis.memsan import active as memsan_active
 from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
 from ..sim.latency import CACHE_LINE, LatencyTable
@@ -58,6 +59,9 @@ class MemoryRegion:
             )
         if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
             self._check(offset, nbytes)
+        ms = memsan_active()
+        if ms is not None:
+            ms.raw_load(self.name, offset, nbytes)
         return bytes(self._data[offset : offset + nbytes])
 
     def write(self, offset: int, data: bytes) -> None:
@@ -69,6 +73,9 @@ class MemoryRegion:
         nbytes = len(data)
         if offset < 0 or offset + nbytes > self.size:
             self._check(offset, nbytes)
+        ms = memsan_active()
+        if ms is not None:
+            ms.raw_store(self.name, offset, nbytes)
         self._data[offset : offset + nbytes] = data
 
     def power_fail(self) -> None:

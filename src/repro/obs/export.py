@@ -23,6 +23,7 @@ byte-identical JSON (the golden-snapshot test pins one).
 from __future__ import annotations
 
 import json
+import os
 from typing import Iterable, Union
 
 from .critical_path import MechanismBreakdown
@@ -92,7 +93,9 @@ def to_chrome_trace(
 
 
 def write_chrome_trace(
-    path, source: Union[SpanTracer, Iterable[Span]], process_name: str = "repro"
+    path: Union[str, "os.PathLike[str]"],
+    source: Union[SpanTracer, Iterable[Span]],
+    process_name: str = "repro",
 ) -> None:
     """Serialise deterministically (sorted keys, fixed separators)."""
     payload = to_chrome_trace(source, process_name=process_name)
@@ -102,7 +105,9 @@ def write_chrome_trace(
         handle.write("\n")
 
 
-def write_csv_summary(path, breakdown: MechanismBreakdown) -> None:
+def write_csv_summary(
+    path: Union[str, "os.PathLike[str]"], breakdown: MechanismBreakdown
+) -> None:
     """Per-mechanism bucket totals and per-txn percentiles as CSV."""
     lines = ["mechanism,total_ns,share,p50_ns,p95_ns,p99_ns"]
     for kind in breakdown.kinds():

@@ -65,7 +65,7 @@ segment: spans that survive a ``yield`` must be created with
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 __all__ = [
     "MECHANISM_KINDS",
@@ -133,7 +133,7 @@ class Span:
         self.fields: dict = {}
         self.costs: Optional[dict] = None
         self.end_seq = 0
-        self._meter = None
+        self._meter: Any = None
         self._c0 = 0.0
         self._c_idx = 0
 
@@ -162,7 +162,7 @@ class _Attached:
         self._tracer.push(self._span)
         return self._span
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self._tracer.pop(self._span)
 
 
@@ -172,14 +172,16 @@ class _NullCtx:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         return None
 
 
 _NULL_CTX = _NullCtx()
 
 
-def attached(tracer: Optional["SpanTracer"], span: Optional[Span]):
+def attached(
+    tracer: Optional["SpanTracer"], span: Optional[Span]
+) -> Union["_Attached", "_NullCtx"]:
     """Context manager attaching ``span`` to the stack, or a no-op.
 
     The no-op path (tracer or span is ``None``) returns a shared null
@@ -220,10 +222,10 @@ class SpanTracer:
         self,
         kind: str,
         name: str,
-        meter=None,
+        meter: Any = None,
         parent: Optional[Span] = None,
         push: bool = True,
-        **fields,
+        **fields: object,
     ) -> Span:
         """Open a span. Parent defaults to the top of the attach stack.
 
@@ -253,7 +255,7 @@ class SpanTracer:
             self._stack.append(span)
         return span
 
-    def end(self, span: Span, **fields) -> Span:
+    def end(self, span: Span, **fields: object) -> Span:
         """Close a span; wall duration if any time passed, else charged."""
         if span.status != _OPEN:
             return span
@@ -294,7 +296,7 @@ class SpanTracer:
         parent: Optional[Span] = None,
         ns: float = 0.0,
         t0: Optional[float] = None,
-        **fields,
+        **fields: object,
     ) -> Span:
         """Record a retroactive, already-finished span (pure waits).
 
@@ -417,7 +419,7 @@ class SpanTracer:
         install(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         uninstall(self)
 
 

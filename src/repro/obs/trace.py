@@ -93,7 +93,7 @@ class Tracer:
 
     # -- emission (only reached when the tracer is installed) --------------------
 
-    def emit(self, subsystem: str, name: str, **fields) -> None:
+    def emit(self, subsystem: str, name: str, **fields: object) -> None:
         ring = self._rings.get(subsystem)
         if ring is None:
             ring = deque(maxlen=self.capacity_per_subsystem)
@@ -146,7 +146,7 @@ class Tracer:
         install(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         uninstall(self)
 
 

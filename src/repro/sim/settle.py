@@ -13,9 +13,9 @@ under the lock; the multi-primary protocol relies on this.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Any, Generator, Optional
 
-from ..obs.spans import active as spans_active
+from ..obs.spans import Span, active as spans_active
 from .core import Simulator
 from .resources import Pipe
 
@@ -28,7 +28,7 @@ class ChargeSettler:
     def __init__(
         self,
         sim: Simulator,
-        meter,
+        meter: Any,
         pipes: dict[str, list[Pipe]],
     ) -> None:
         self.sim = sim
@@ -36,7 +36,7 @@ class ChargeSettler:
         self.pipes = pipes
         self.unroutable_keys: set[str] = set()
 
-    def settle(self, extra_ns: float = 0.0, span=None) -> Generator:
+    def settle(self, extra_ns: float = 0.0, span: Optional[Span] = None) -> Generator:
         """Process step: elapse the meter's accumulated cost.
 
         Per-operation base latencies (an RDMA read's ~5 µs, a storage

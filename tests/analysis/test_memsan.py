@@ -1,0 +1,408 @@
+"""Unit tests for the CXL-MemSan happens-before machinery.
+
+These drive the detector directly through its hook API — no simulator —
+so each rule's firing condition and each synchronization edge is pinned
+in isolation. Protocol-level detection (the seeded mutations) lives in
+``test_memsan_protocol.py``.
+"""
+
+import pytest
+
+from repro.analysis.memsan import (
+    DIRTY,
+    RDMA_PAGES,
+    MemSan,
+    MemSanError,
+    active,
+    install,
+    scoped_actor,
+    uninstall,
+    vc_join,
+    vc_leq,
+)
+
+REGION = "cxl.test"
+
+
+def make() -> MemSan:
+    ms = MemSan()
+    ms.watch_region(REGION)
+    return ms
+
+
+def rules(ms: MemSan) -> list[str]:
+    return [report.rule for report in ms.reports]
+
+
+# -- vector clocks ---------------------------------------------------------
+
+
+def test_vc_leq_is_pointwise():
+    assert vc_leq({}, {})
+    assert vc_leq({"a": 1}, {"a": 1})
+    assert vc_leq({"a": 1}, {"a": 2, "b": 9})
+    assert not vc_leq({"a": 2}, {"a": 1})
+    # Missing entries count as zero on the right.
+    assert not vc_leq({"a": 1}, {"b": 5})
+    assert vc_leq({"a": 0}, {})
+
+
+def test_vc_join_is_pointwise_max_in_place():
+    dst = {"a": 1, "b": 4}
+    out = vc_join(dst, {"a": 3, "c": 2})
+    assert out is dst
+    assert dst == {"a": 3, "b": 4, "c": 2}
+
+
+# -- publish / fetch visibility -------------------------------------------
+
+
+def test_flush_then_ordered_fill_is_clean():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 7)
+        ms.cache_flush_line("n0$", REGION, 7, dirty=True)
+        ms.flag_store(REGION, 100, True)
+    with ms.actor("n1"):
+        ms.flag_read(REGION, 100, True)  # acquire: sees the store
+        ms.cache_load("n1$", REGION, 7, fetched=True)
+    assert ms.reports == []
+    assert ms.accesses_checked > 0
+
+
+def test_unordered_fill_after_publish_reports_read_write_race():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 7)
+        ms.cache_flush_line("n0$", REGION, 7, dirty=True)
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 7, fetched=True)  # no edge from n0
+    assert rules(ms) == ["read-write-race"]
+    report = ms.reports[0]
+    assert report.actor == "n1" and report.other == "n0"
+    assert report.line == 7 and report.region == REGION
+
+
+def test_fill_while_dirty_elsewhere_reports_read_write_race():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 3)  # never flushed
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 3, fetched=True)
+    assert rules(ms) == ["read-write-race"]
+    assert "unflushed" in ms.reports[0].detail
+
+
+def test_concurrent_stores_report_write_write_race():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 5)
+    with ms.actor("n1"):
+        ms.cache_store("n1$", REGION, 5)
+    assert rules(ms) == ["write-write-race"]
+
+
+def test_lock_handover_orders_stores():
+    ms = make()
+    with ms.actor("n0"):
+        ms.lock_acquired("n0", 42)
+        ms.cache_store("n0$", REGION, 5)
+        ms.cache_flush_line("n0$", REGION, 5, dirty=True)
+        ms.lock_released("n0", 42)
+    with ms.actor("n1"):
+        ms.lock_acquired("n1", 42)
+        ms.cache_store("n1$", REGION, 5)
+        ms.cache_flush_line("n1$", REGION, 5, dirty=True)
+        ms.lock_released("n1", 42)
+    assert ms.reports == []
+
+
+def test_rpc_entry_exit_orders_raw_accesses():
+    ms = make()
+    with ms.actor("n0"):
+        ms.rpc_acquire("fusion")
+        ms.raw_store(REGION, 0, 64)
+        ms.rpc_release("fusion")
+    with ms.actor("n1"):
+        ms.raw_load(REGION, 0, 64)  # unordered: n1 never entered the RPC
+    assert rules(ms) == ["read-write-race"]
+
+    ms = make()
+    with ms.actor("n0"):
+        ms.rpc_acquire("fusion")
+        ms.raw_store(REGION, 0, 64)
+        ms.rpc_release("fusion")
+    with ms.actor("n1"):
+        ms.rpc_acquire("fusion")
+        ms.raw_load(REGION, 0, 64)
+        ms.rpc_release("fusion")
+    assert ms.reports == []
+
+
+def test_raw_store_spanning_lines_checks_each_line():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 1)
+    with ms.actor("n1"):
+        # 64..192 covers lines 1 and 2; line 1 is dirty under n0.
+        ms.raw_store(REGION, 64, 128)
+    assert rules(ms) == ["write-write-race"]
+
+
+# -- staleness and the reader-side invalidation rules ----------------------
+
+
+def test_stale_cached_serve_reports():
+    ms = make()
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 2, fetched=True)  # holds version 0
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 2)
+        ms.cache_flush_line("n0$", REGION, 2, dirty=True)  # version 1
+        ms.flag_store(REGION, 100, True)
+    with ms.actor("n1"):
+        # Never reads the flag, serves the cached copy: stale.
+        ms.cache_load("n1$", REGION, 2, fetched=False)
+    assert rules(ms) == ["stale-cached-read"]
+    assert "version 0" in ms.reports[0].detail
+
+
+def test_invalidated_then_refetched_is_clean():
+    ms = make()
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 2, fetched=True)
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 2)
+        ms.cache_flush_line("n0$", REGION, 2, dirty=True)
+        ms.flag_store(REGION, 100, True)
+    with ms.actor("n1"):
+        ms.flag_read(REGION, 100, True)
+        ms.cache_invalidate_line("n1$", REGION, 2)
+        ms.cache_load("n1$", REGION, 2, fetched=True)
+        ms.cache_load("n1$", REGION, 2, fetched=False)  # now-current copy
+    assert ms.reports == []
+
+
+def test_preinstall_copy_is_adopted_not_reported():
+    # A cached serve of a copy MemSan never saw being filled must adopt
+    # the current version: the fill predates install.
+    ms = make()
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 9, fetched=False)
+    assert ms.reports == []
+
+
+def test_assert_flushed_reports_surviving_dirty_line():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 4)
+        ms.assert_flushed("n0$", REGION, 0, 64 * 8)
+    assert rules(ms) == ["unflushed-write-at-release"]
+
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 4)
+        ms.cache_flush_line("n0$", REGION, 4, dirty=True)
+        ms.assert_flushed("n0$", REGION, 0, 64 * 8)
+    assert ms.reports == []
+
+
+def test_invalid_cleared_with_stale_copy_reports():
+    ms = make()
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 2, fetched=True)
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 2)
+        ms.cache_flush_line("n0$", REGION, 2, dirty=True)
+    with ms.actor("n1"):
+        ms.invalid_cleared("n1$", REGION, 0, 64 * 4)
+    assert rules(ms) == ["cleared-flag-before-invalidate"]
+
+    ms = make()
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 2, fetched=True)
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 2)
+        ms.cache_flush_line("n0$", REGION, 2, dirty=True)
+    with ms.actor("n1"):
+        ms.cache_invalidate_line("n1$", REGION, 2)
+        ms.invalid_cleared("n1$", REGION, 0, 64 * 4)
+    assert ms.reports == []
+
+
+def test_own_dirty_copy_is_not_stale():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 2)
+        ms.cache_load("n0$", REGION, 2, fetched=False)  # own DIRTY copy
+    assert ms.reports == []
+    state = ms._lines[(REGION, 2)]
+    assert state.cached["n0$"] == DIRTY
+
+
+# -- write-after-read (opt-in) ---------------------------------------------
+
+
+def test_write_after_read_off_by_default():
+    ms = make()
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 6, fetched=True)
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 6)
+    assert ms.reports == []
+
+
+def test_write_after_read_opt_in_reports():
+    ms = MemSan(check_write_after_read=True)
+    ms.watch_region(REGION)
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 6, fetched=True)
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 6)
+    assert "write-after-read-race" in rules(ms)
+
+
+# -- crashes ---------------------------------------------------------------
+
+
+def test_cache_dropped_clears_dirty_state():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 3)
+    ms.cache_dropped("n0$")
+    with ms.actor("n1"):
+        ms.cache_load("n1$", REGION, 3, fetched=True)
+    assert ms.reports == []
+
+
+def test_actor_crashed_inheritor_sees_the_dead_nodes_publishes():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 3)
+        ms.cache_flush_line("n0$", REGION, 3, dirty=True)
+    ms.actor_crashed("n0", inheritor="failover")
+    with ms.actor("failover"):
+        ms.raw_store(REGION, 3 * 64, 64)  # rebuild: ordered after n0
+    assert ms.reports == []
+
+
+# -- RDMA page-granular tracking ------------------------------------------
+
+
+def test_rdma_stale_page_read_reports():
+    ms = MemSan()
+    ms.page_fetch("n1", 12)
+    ms.page_publish("n0", 12)
+    ms.page_cached_read("n1", 12)
+    assert rules(ms) == ["stale-page-read"]
+    assert ms.reports[0].region == RDMA_PAGES
+
+
+def test_rdma_refetch_and_drop_are_clean():
+    ms = MemSan()
+    ms.page_fetch("n1", 12)
+    ms.page_publish("n0", 12)
+    ms.page_fetch("n1", 12)  # invalidation observed: refetch
+    ms.page_cached_read("n1", 12)
+    ms.page_dropped("n1", 12)
+    ms.page_publish("n0", 12)
+    ms.page_fetch("n1", 12)  # dropped frame refetches; no stale serve
+    ms.page_cached_read("n1", 12)
+    assert ms.reports == []
+
+
+# -- reporting and install protocol ---------------------------------------
+
+
+def test_max_reports_caps_and_counts_dropped():
+    ms = MemSan(max_reports=2)
+    ms.watch_region(REGION)
+    with ms.actor("n0"):
+        for line in range(5):
+            ms.cache_store("n0$", REGION, line)
+    with ms.actor("n1"):
+        for line in range(5):
+            ms.cache_store("n1$", REGION, line)
+    assert len(ms.reports) == 2
+    assert ms.reports_dropped == 3
+    with pytest.raises(MemSanError) as err:
+        ms.check()
+    assert "5 race report(s)" in str(err.value)
+
+
+def test_check_passes_when_clean():
+    make().check()
+
+
+def test_report_str_mentions_rule_and_missing_edge():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 5)
+    with ms.actor("n1"):
+        ms.cache_store("n1$", REGION, 5)
+    text = str(ms.reports[0])
+    assert "write-write-race" in text
+    assert "missing edge" in text
+
+
+def test_install_protocol_is_exclusive_and_scoped():
+    assert active() is None
+    ms = MemSan()
+    with ms:
+        assert active() is ms
+        with pytest.raises(RuntimeError):
+            install(MemSan())
+        # scoped_actor targets the installed instance.
+        with scoped_actor("n0"):
+            assert ms._ambient() == "n0"
+        assert ms._ambient() is None
+    assert active() is None
+    uninstall()  # idempotent
+
+
+def test_scoped_actor_is_null_when_uninstalled():
+    scope = scoped_actor("n0")
+    with scope:
+        pass  # must be a no-op, not an error
+
+
+def test_unwatched_region_is_ignored():
+    ms = MemSan()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", "other.region", 1)
+        ms.raw_store("other.region", 0, 64)
+    with ms.actor("n1"):
+        ms.cache_store("n1$", "other.region", 1)
+    assert ms.reports == []
+
+
+def test_internal_scope_suppresses_raw_hooks():
+    ms = make()
+    with ms.actor("n0"):
+        ms.cache_store("n0$", REGION, 1)
+    with ms.actor("n1"), ms.internal():
+        ms.raw_load(REGION, 64, 64)  # bookkeeping: not an access
+    assert ms.reports == []
+
+
+def test_watch_setup_watches_only_software_coherent_cxl():
+    class Region:
+        name = "cxl.pool"
+
+    class Manager:
+        region = Region()
+
+    class Setup:
+        def __init__(self, system):
+            self.system = system
+            self.manager = Manager()
+
+    ms = MemSan()
+    ms.watch_setup(Setup("cxl"))
+    assert "cxl.pool" in ms._watched
+    ms = MemSan()
+    ms.watch_setup(Setup("cxl3"))
+    assert ms._watched == set()
+    ms = MemSan()
+    ms.watch_setup(Setup("rdma"))
+    assert ms._watched == set()

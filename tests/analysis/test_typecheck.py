@@ -1,0 +1,25 @@
+"""Run mypy over the strictly-typed packages when mypy is available.
+
+The strict surface is ``repro.sim``, ``repro.obs`` and
+``repro.analysis`` (see ``[tool.mypy]`` in pyproject.toml). CI installs
+mypy and runs it as its own job; this test makes the same check part of
+a plain local ``pytest`` run for developers who have mypy installed,
+and skips cleanly where it is absent (the runtime has no typing
+dependencies).
+"""
+
+import pathlib
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api", reason="mypy is not installed")
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_strict_packages_typecheck():
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(ROOT / "pyproject.toml")]
+        + [str(ROOT / "src" / "repro" / pkg) for pkg in ("sim", "obs", "analysis")]
+    )
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"

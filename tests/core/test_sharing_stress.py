@@ -19,6 +19,7 @@ import random
 
 import pytest
 
+from repro.analysis.memsan import MemSan
 from repro.bench.harness import build_sharing_setup
 from repro.obs import (
     SpanTracer,
@@ -109,10 +110,18 @@ def _run_schedule(setup, rng: random.Random, oracle: dict[int, int]) -> None:
 
 def _stress(setup, base_seed: int) -> None:
     oracle = _oracle_seed(setup)
-    accesses = releases = spans_checked = 0
+    accesses = releases = spans_checked = ms_accesses = 0
     for seed in range(N_SEEDS):
-        with Tracer() as tracer, SpanTracer() as span_tracer:
+        # A fresh per-schedule MemSan also exercises its mid-run install
+        # (pre-existing cache copies are adopted, not reported).
+        ms = MemSan()
+        ms.watch_setup(setup)
+        with ms, Tracer() as tracer, SpanTracer() as span_tracer:
             _run_schedule(setup, random.Random(base_seed + seed), oracle)
+        assert not ms.reports, (
+            f"seed {base_seed + seed}: " + "; ".join(map(str, ms.reports))
+        )
+        ms_accesses += ms.accesses_checked
         stats = assert_trace_invariants(tracer)
         span_stats = assert_span_invariants(span_tracer)
         accesses += stats.accesses_checked
@@ -122,6 +131,7 @@ def _stress(setup, base_seed: int) -> None:
     # The sweep exercised the protocol, not an idle trace.
     assert accesses > N_SEEDS
     assert releases > N_SEEDS
+    assert ms_accesses > N_SEEDS
 
     # Convergence: every node agrees with the oracle at the end.
     for node in setup.nodes:
@@ -139,11 +149,17 @@ def test_rdma_sharing_stress(rdma_setup):
     # this guards its flush-page-before-release path and invalidation
     # messages under the same randomized interleavings.
     oracle = _oracle_seed(rdma_setup)
+    ms_accesses = 0
     for seed in range(40):
-        with Tracer() as tracer, SpanTracer() as span_tracer:
+        ms = MemSan()
+        ms.watch_setup(rdma_setup)
+        with ms, Tracer() as tracer, SpanTracer() as span_tracer:
             _run_schedule(rdma_setup, random.Random(5000 + seed), oracle)
+        assert not ms.reports, "; ".join(map(str, ms.reports))
+        ms_accesses += ms.accesses_checked
         assert_trace_invariants(tracer)
         assert_span_invariants(span_tracer)
+    assert ms_accesses > 40
     for node in rdma_setup.nodes:
         for key in (1, ROWS // 2, ROWS):
             row = rdma_setup.sim.run_process(node.point_select(TABLE, key))
