@@ -36,6 +36,7 @@ EXPERIMENTS = {
     "counters": "test_counters_amplification.py",
     "spans": "test_spans_breakdown.py",
     "memsan": "test_memsan_fig13.py",
+    "ha": "test_ha_scenarios.py",
 }
 
 
@@ -77,6 +78,12 @@ def main(argv: list[str]) -> int:
     # benchmarks/conftest.py); any race report fails the run.
     with_memsan = "--memsan" in argv
     argv = [arg for arg in argv if arg != "--memsan"]
+    # --ha: also run the fleet HA scenarios (availability timelines and
+    # the warm-attach vs recovery comparison) alongside the selection.
+    with_ha = "--ha" in argv
+    argv = [arg for arg in argv if arg != "--ha"]
+    if not argv and with_ha:
+        argv = ["ha"]
     if not argv and with_counters:
         argv = ["counters"]
     if not argv and with_spans:
@@ -88,7 +95,7 @@ def main(argv: list[str]) -> int:
         for name, filename in EXPERIMENTS.items():
             print(f"  {name:10s} benchmarks/{filename}")
         print(f"  {'perf':10s} wall-clock perf harness -> BENCH_perf.json")
-        print("\nusage: python -m repro.bench [--counters] [--spans] [--memsan] <experiment>... | all")
+        print("\nusage: python -m repro.bench [--counters] [--spans] [--memsan] [--ha] <experiment>... | all")
         print("       python -m repro.bench perf [--quick] [--min-speedup X] [--out PATH]")
         return 0
     names = list(EXPERIMENTS) if argv == ["all"] else argv
@@ -98,6 +105,8 @@ def main(argv: list[str]) -> int:
         names.append("spans")
     if with_memsan and "memsan" not in names:
         names.append("memsan")
+    if with_ha and "ha" not in names:
+        names.append("ha")
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")

@@ -31,6 +31,7 @@ from ..core.block import pool_bytes_needed
 from ..db.bufferpool import LocalBufferPool
 from ..db.constants import PAGE_SIZE
 from ..db.engine import Engine
+from ..faults.injector import crash_point
 from ..hardware.cache import CpuCache, LineCacheModel
 from ..hardware.host import Cluster, Host
 from ..hardware.memory import AccessMeter, WindowedMemory
@@ -48,6 +49,7 @@ __all__ = [
     "build_pooling_setup",
     "SharingSetup",
     "build_sharing_setup",
+    "add_sharing_node",
     "counter_snapshot",
     "reset_meters",
     "SYSTEMS",
@@ -279,6 +281,12 @@ class SharingSetup:
     dbp_server: Optional[RdmaDbpServer] = None
     dbp_host: Optional[Host] = None
     manager: Optional[CxlMemoryManager] = None
+    # Build parameters retained so nodes can be added after the fact
+    # (fleet HA join/leave — see add_sharing_node).
+    n_pages: int = 0
+    n_flag_entries: int = 0
+    base_lsn: int = 0
+    schema: list = field(default_factory=list)
 
     def total_memory_bytes(self) -> int:
         """Memory footprint: DBP plus any per-node local buffers."""
@@ -348,6 +356,10 @@ def build_sharing_setup(
 
     dbp_slots = n_pages + _POOL_SLACK_PAGES
     n_flag_entries = dbp_slots
+    setup.n_pages = n_pages
+    setup.n_flag_entries = n_flag_entries
+    setup.base_lsn = loader_log.next_lsn
+    setup.schema = schema
 
     if system in ("cxl", "cxl3"):
         manager = CxlMemoryManager(
@@ -371,6 +383,9 @@ def build_sharing_setup(
         setup.dbp_host = dbp_host
 
     for i in range(n_nodes):
+        if system == "cxl":
+            add_sharing_node(setup, f"node{i}")
+            continue
         host = cluster.add_host(f"node{i}")
         meter = AccessMeter()
         redo = RedoLog(meter, config=config)
@@ -393,38 +408,6 @@ def build_sharing_setup(
                 meter,
                 config=config,
                 line_cache=hw_line_cache,
-            )
-        elif system == "cxl":
-            assert setup.manager is not None and setup.fusion is not None
-            slab_extent = setup.manager.allocate(
-                f"node{i}.flags", n_flag_entries * FLAG_BYTES_PER_ENTRY, meter
-            )
-            slab = FlagSlab(
-                setup.manager.region,
-                slab_extent.offset,
-                n_flag_entries,
-                meter,
-                config=config,
-            )
-            cpu_cache = CpuCache(
-                f"node{i}.cache",
-                capacity_lines=max(1 << 10, n_pages * PAGE_SIZE // 10 // 64),
-                meter=meter,
-                miss_ns=config.cxl_switch_local_ns,
-                hit_ns=18.0,
-                pipe_key="cxl",
-            )
-            # The functional cache is host SRAM: a node crash must drop
-            # its dirty lines, never write them back.
-            host.register_cache(cpu_cache)
-            pool = SharedCxlBufferPool(
-                f"node{i}",
-                setup.fusion,
-                setup.manager.region,
-                cpu_cache,
-                slab,
-                meter,
-                config=config,
             )
         else:
             assert setup.dbp_server is not None
@@ -463,6 +446,109 @@ def build_sharing_setup(
         # CXL region automatically; rdma/cxl3 need no region watch.
         ms.watch_setup(setup)
     return setup
+
+
+def add_sharing_node(
+    setup: SharingSetup,
+    node_id: Optional[str] = None,
+    reuse_slab: Optional[FlagSlab] = None,
+    warm_join: bool = False,
+) -> MultiPrimaryNode:
+    """Attach one primary to a ``"cxl"`` sharing fleet.
+
+    ``build_sharing_setup`` uses this for its initial nodes; the fleet
+    HA scenarios (:mod:`repro.ha.scenarios`) call it *after* the build
+    to model node join — a fresh primary attaching to the surviving CXL
+    pool. The joiner inherits the warm DBP by construction: its first
+    page access gets a CXL address from the fusion server, no storage
+    reload, which is the PolarRecv warm-attach the join/leave scenario
+    times against the ARIES/RDMA baselines.
+
+    ``reuse_slab`` hands the new node a dead node's flag-slab extent
+    (scrubbed via :meth:`~repro.core.coherency.FlagSlab.clear_all` and
+    recharged to the new owner's meter) instead of allocating a fresh
+    one — the rejoin path of rolling-crash scenarios, which must not
+    leak CXL memory on every crash/rejoin cycle. ``warm_join=True``
+    marks an attach to a *live* fleet and fires the registered
+    ``sharing.join.warm`` crash point once the node is wired up.
+    """
+    if setup.system != "cxl":
+        raise ValueError("add_sharing_node requires a 'cxl' sharing setup")
+    assert setup.manager is not None and setup.fusion is not None
+    config = setup.config
+    if node_id is None:
+        node_id = f"node{len(setup.nodes)}"
+    host = setup.cluster.add_host(node_id)
+    meter = AccessMeter()
+    redo = RedoLog(meter, config=config)
+    # Page LSNs in the loaded dataset come from the loader's log;
+    # node LSNs must sort after them or LSN-guarded redo (failover
+    # page rebuild) would skip the node's own durable records.
+    redo.align_lsn(setup.base_lsn)
+    node_store = PageStore(PAGE_SIZE, meter, config=config)
+    node_store._pages = setup.page_store._pages  # shared durable storage
+    ms = memsan_active()
+    if reuse_slab is not None:
+        slab = reuse_slab
+        slab.meter = meter
+        slab.clear_all()
+    else:
+        slab_extent = setup.manager.allocate(
+            f"{node_id}.flags",
+            setup.n_flag_entries * FLAG_BYTES_PER_ENTRY,
+            meter,
+        )
+        if ms is not None:
+            # The constructor zeroes the slab with one bulk region
+            # write; under an active MemSan that bookkeeping store must
+            # not register as an actor's data write.
+            with ms.internal():
+                slab = FlagSlab(
+                    setup.manager.region,
+                    slab_extent.offset,
+                    setup.n_flag_entries,
+                    meter,
+                    config=config,
+                )
+        else:
+            slab = FlagSlab(
+                setup.manager.region,
+                slab_extent.offset,
+                setup.n_flag_entries,
+                meter,
+                config=config,
+            )
+    cpu_cache = CpuCache(
+        f"{node_id}.cache",
+        capacity_lines=max(1 << 10, setup.n_pages * PAGE_SIZE // 10 // 64),
+        meter=meter,
+        miss_ns=config.cxl_switch_local_ns,
+        hit_ns=18.0,
+        pipe_key="cxl",
+    )
+    # The functional cache is host SRAM: a node crash must drop
+    # its dirty lines, never write them back.
+    host.register_cache(cpu_cache)
+    pool = SharedCxlBufferPool(
+        node_id,
+        setup.fusion,
+        setup.manager.region,
+        cpu_cache,
+        slab,
+        meter,
+        config=config,
+    )
+    engine = Engine(node_id, pool, node_store, redo, meter, cost=setup.cost)
+    engine.adopt_schema(setup.schema)
+    settler = ChargeSettler(setup.sim, meter, host.pipes)
+    node = MultiPrimaryNode(node_id, engine, lock_service=setup.lock_service, settler=settler)
+    setup.nodes.append(node)
+    setup.hosts.append(host)
+    if warm_join:
+        # Crash (of the joiner) here: it is registered with nothing yet
+        # and holds no locks — the fleet just carries on without it.
+        crash_point("sharing.join.warm")
+    return node
 
 
 # ---------------------------------------------------------------------------

@@ -121,6 +121,25 @@ class FlagSlab:
             self.region, self.removal_addr(entry), self.meter, self.config, False
         )
 
+    def clear_all(self) -> int:
+        """Scrub every flag pair; returns the number of entries scrubbed.
+
+        Used when a slab extent is handed to a rejoining node (fleet HA
+        join path): the dead owner's leftover flags must not leak into
+        the successor's protocol state. Goes flag-by-flag through
+        :func:`set_remote_flag` — not one bulk region write — so an
+        active MemSan sees ordinary flag stores, and each store is
+        charged to the (new) owner's meter like any other scrub.
+        """
+        for entry in range(self.n_entries):
+            set_remote_flag(
+                self.region, self._invalid_addrs[entry], self.meter, self.config, False
+            )
+            set_remote_flag(
+                self.region, self._removal_addrs[entry], self.meter, self.config, False
+            )
+        return self.n_entries
+
     def _read_flag(self, addr: int) -> bool:
         meter = self.meter
         meter.ns += self._flag_read_ns

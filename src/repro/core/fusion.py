@@ -38,11 +38,33 @@ __all__ = [
     "BufferFusionServer",
     "FusionEntry",
     "FusionUnavailableError",
+    "RpcExhaustedError",
 ]
 
 
 class FusionUnavailableError(RuntimeError):
     """An RPC to the buffer fusion server timed out (server down/partition)."""
+
+
+class RpcExhaustedError(FusionUnavailableError):
+    """A fusion RPC stayed lost through the whole retry budget.
+
+    Raised by the node-side retry layer (``repro.ha.policy``) once the
+    capped-exponential-backoff policy runs out of attempts or time: the
+    caller sees one typed error carrying the totals instead of the last
+    transient :class:`FusionUnavailableError`. Subclasses it so existing
+    handlers of the transient error still catch the exhausted form.
+    """
+
+    def __init__(self, op: str, page_id: int, attempts: int, spent_ns: float) -> None:
+        super().__init__(
+            f"{op}({page_id}): fusion RPC lost {attempts} consecutive "
+            f"times ({spent_ns / 1e6:.2f} ms of timeouts+backoff); giving up"
+        )
+        self.op = op
+        self.page_id = page_id
+        self.attempts = attempts
+        self.spent_ns = spent_ns
 
 
 class PageLockService:
@@ -227,7 +249,18 @@ class BufferFusionServer:
         Sets the ``invalid`` flag of every *other* active node — one CXL
         store each — and marks the DBP copy dirty versus storage.
         Returns the number of invalidations pushed.
+
+        Raises :class:`FusionUnavailableError` when the injector has an
+        armed RPC failure for this call — checked before any server
+        state changes, exactly as for :meth:`request_page`: the server
+        never saw the release and the node retries it.
         """
+        injector = fault_injector()
+        if injector is not None and injector.take_rpc_failure("fusion.on_write_release"):
+            raise FusionUnavailableError(
+                f"on_write_release({page_id}) from {writer_node!r}: fusion "
+                "server did not respond"
+            )
         entry = self._entries.get(page_id)
         if entry is None:
             raise KeyError(f"page {page_id} not in the DBP")
@@ -271,6 +304,20 @@ class BufferFusionServer:
         if entry is not None:
             entry.active.pop(node_id, None)
 
+    def deregister_node(self, node_id: str) -> int:
+        """Drop a node's registration from every DBP entry.
+
+        The graceful-leave half of fleet membership (failover does the
+        same as part of :meth:`recover_node_failure`): after this the
+        fusion server never pushes flags at the departed node's slab
+        addresses. Returns the number of entries it was registered on.
+        """
+        dropped = 0
+        for entry in self._entries.values():
+            if entry.active.pop(node_id, None) is not None:
+                dropped += 1
+        return dropped
+
     # -- failover ----------------------------------------------------------------------
 
     def recover_node_failure(
@@ -288,15 +335,38 @@ class BufferFusionServer:
         can hold a *partial* cache-line flush (the node crashed inside
         ``clflush``) or background write-backs of uncommitted lines. Each
         such page is rebuilt from the storage image plus the dead node's
-        durable redo records, the surviving nodes get invalid flags so
-        they drop any cached lines of it, and only then is the write
-        lock force-released. Locks are never broken before the page is
-        consistent — a waiting writer must not see torn bytes.
+        durable redo records, the rebuilt image is **hardened** back to
+        storage (so the page's history no longer depends on the dead
+        node's log — the handover a successor writer needs), the
+        surviving nodes get invalid flags so they drop any cached lines
+        of it, and only then is the write lock force-released. Locks are
+        never broken before the page is consistent — a waiting writer
+        must not see torn bytes.
+
+        The redo records are **force-applied** (no page-LSN guard): a
+        previous failover attempt may have died inside the hardening
+        write, leaving a sector-torn storage image whose header LSN
+        already reads as new while its tail holds old bytes. Physical
+        redo is idempotent, and per page the distributed write lock
+        serializes writers, so rewriting every recorded byte range is
+        exactly the deterministic fix — which also makes this whole
+        method re-entrant: every step can be crashed and re-run (the
+        ``fusion.failover.*`` crash points below are swept by
+        ``sweep_failover_storm_points``).
 
         Read locks the node held are simply dropped, and the node is
         deregistered from every DBP entry. Returns the number of pages
         rebuilt.
         """
+        # Failover is an operation *of the fusion server*: a node whose
+        # first contact with a rebuilt page is a later RPC (it was not
+        # registered when the invalid flags were pushed) must still see
+        # the rebuilt bytes — the server's reply orders after its own
+        # rebuild writes. Acquire at entry, release only on completion:
+        # a coordinator that crashes mid-failover publishes nothing.
+        ms_rpc = memsan_active()
+        if ms_rpc is not None:
+            ms_rpc.rpc_acquire("fusion")
         records_by_page: dict[int, list] = {}
         for record in redo_log.records_since(redo_log.checkpoint_lsn):
             records_by_page.setdefault(record.page_id, []).append(record)
@@ -318,13 +388,24 @@ class BufferFusionServer:
                     # Nothing durable exists for the page; leave the slot.
                     image = None
                 if image is not None:
-                    apply_redo_to_image(image, page_records)
+                    apply_redo_to_image(image, page_records, force=True)
                     self.region.write(
                         self.data_offset_of_slot(entry.slot), bytes(image)
                     )
                     meter.charge_ns(self.config.cxl_write_ns(PAGE_SIZE))
                     meter.charge_transfer("cxl", PAGE_SIZE)
-                    entry.dirty = True
+                    # Harden the rebuilt page to storage before the lock
+                    # breaks: the next writer of this page may be a
+                    # different node whose redo log knows nothing of this
+                    # history, so storage must be current when ownership
+                    # transfers (fleet rolling-crash handover).
+                    self.page_store.write_page(page_id, bytes(image))
+                    meter.charge_transfer(
+                        "storage",
+                        PAGE_SIZE,
+                        base_ns=self.config.storage_write_base_ns,
+                    )
+                    entry.dirty = False
                     tracer = obs_active()
                     if tracer is not None:
                         tracer.count("fusion.pages_rebuilt")
@@ -351,16 +432,30 @@ class BufferFusionServer:
                                     target=other,
                                 )
                     rebuilt += 1
+                    # Crash (of the failover coordinator) here: page
+                    # rebuilt and hardened, invalidations pushed, but the
+                    # dead node's lock still held — a retry rebuilds the
+                    # same image (force-applied redo is idempotent).
+                    crash_point("fusion.failover.rebuilt")
             if lock_service is not None:
                 lock_service.force_release_write(page_id)
                 ms = memsan_active()
                 if ms is not None:
                     ms.lock_force_released(page_id)
+                # Crash here: this lock broken, later pages still locked.
+                # force_release_write is a no-op on an unheld lock, so a
+                # retry walks the same list safely.
+                crash_point("fusion.failover.released")
         if lock_service is not None:
             for page_id in read_locked_pages:
                 lock_service.force_release_read(page_id)
         for entry in self._entries.values():
             entry.active.pop(node_id, None)
+        if ms_rpc is not None:
+            ms_rpc.rpc_release("fusion")
+        # Crash here: the dead node is fully deregistered but the caller
+        # never saw the reply; re-running the whole failover is safe.
+        crash_point("fusion.failover.done")
         return rebuilt
 
     # -- background recycling ----------------------------------------------------------------

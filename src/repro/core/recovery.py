@@ -31,18 +31,21 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Optional
 
 from ..db.constants import OFF_LSN, PAGE_SIZE
 from ..faults.injector import active as fault_injector
 from ..faults.injector import crash_point
+from ..hardware.memory import AccessMeter
 from ..obs.spans import active as spans_active
 from ..obs.trace import active as obs_active
+from ..sim.latency import LatencyConfig
 from ..storage.pagestore import PageStore
 from ..storage.wal import RedoLog, RedoRecord
 from .block import BLOCK_NIL, block_data_offset
 from .cxl_bufferpool import CxlBufferPool
 
-__all__ = ["PolarRecv", "RecoveryStats", "apply_redo_to_image"]
+__all__ = ["PolarRecv", "RecoveryStats", "apply_redo_to_image", "retire_log"]
 
 _U64 = struct.Struct("<Q")
 
@@ -64,20 +67,90 @@ class RecoveryStats:
     def pages_rebuilt(self) -> int:
         return self.pages_rebuilt_locked + self.pages_rebuilt_too_new
 
+    @property
+    def warm_fraction(self) -> float:
+        """Share of surviving pages adopted warm, without any rebuild
+        I/O — the instant-recovery property the HA join/leave scenario
+        reports (1.0 = a pure CXL buffer-pool handover)."""
+        total = self.pages_kept + self.pages_rebuilt
+        return self.pages_kept / total if total else 0.0
+
 
 def apply_redo_to_image(
-    image: bytearray, records: list[RedoRecord]
+    image: bytearray, records: list[RedoRecord], force: bool = False
 ) -> int:
-    """Apply LSN-guarded physical redo to a page image; returns count."""
+    """Apply LSN-guarded physical redo to a page image; returns count.
+
+    ``force=True`` skips the page-LSN guard and rewrites every recorded
+    byte range (stamping each record's LSN): fusion failover uses this
+    because its input image may be a sector-torn mix from a crashed
+    hardening write, whose header LSN lies about the tail bytes.
+    Physical redo is idempotent, so force-applying an already-applied
+    record is content-neutral.
+    """
     applied = 0
     for record in records:
-        page_lsn = _U64.unpack_from(image, OFF_LSN)[0]
-        if record.lsn <= page_lsn:
-            continue
+        if not force:
+            page_lsn = _U64.unpack_from(image, OFF_LSN)[0]
+            if record.lsn <= page_lsn:
+                continue
         image[record.offset : record.offset + len(record.data)] = record.data
         _U64.pack_into(image, OFF_LSN, record.lsn)
         applied += 1
     return applied
+
+
+def retire_log(
+    page_store: PageStore,
+    redo_log: RedoLog,
+    meter: Optional[AccessMeter] = None,
+    config: Optional[LatencyConfig] = None,
+) -> int:
+    """Harden a dead node's durable log into storage (log retirement).
+
+    Fleet failover soundness: :meth:`BufferFusionServer.recover_node_failure`
+    rebuilds a crashed node's *write-locked* pages from storage plus that
+    node's log — but the node's other committed pages may live only in
+    the DBP and its log. If a later owner of such a page crashes, its
+    rebuild (storage + the later owner's log) would silently drop the
+    first owner's updates. Retiring the dead node's log right after
+    failover closes the hole: every page it ever durably touched gets
+    the storage image force-updated with its records, so no future
+    rebuild needs the dead log again.
+
+    Records are force-applied (see :func:`apply_redo_to_image`) because
+    the input image may itself be a sector-torn mix from a crashed
+    hardening write — the same re-entrancy argument as the failover
+    rebuild, and the reason a failover storm can crash inside this loop
+    (``recovery.retire.page``) and simply run it again. Returns the
+    number of pages hardened.
+    """
+    config = config or LatencyConfig()
+    by_page: dict[int, list[RedoRecord]] = {}
+    for record in redo_log.records_since(0):
+        by_page.setdefault(record.page_id, []).append(record)
+    retired = 0
+    for page_id in sorted(by_page):
+        if page_store.exists(page_id):
+            image = bytearray(page_store.read_page_unmetered(page_id))
+            if meter is not None:
+                meter.charge_transfer(
+                    "storage", PAGE_SIZE, base_ns=config.storage_read_base_ns
+                )
+        else:
+            image = bytearray(PAGE_SIZE)
+        apply_redo_to_image(image, by_page[page_id], force=True)
+        page_store.write_page(page_id, bytes(image))
+        if meter is not None:
+            meter.charge_transfer(
+                "storage", PAGE_SIZE, base_ns=config.storage_write_base_ns
+            )
+        retired += 1
+        crash_point("recovery.retire.page")
+    tracer = obs_active()
+    if tracer is not None and retired:
+        tracer.count("recv.pages_retired", retired)
+    return retired
 
 
 class PolarRecv:

@@ -42,10 +42,16 @@ from ..hardware.memory import AccessMeter, MemoryRegion
 from ..obs.spans import active as spans_active
 from ..obs.spans import attached as span_attached
 from ..obs.trace import active as obs_active
+from ..ha.policy import BackoffPolicy
 from ..sim.latency import CACHE_LINE, LatencyConfig
 from ..sim.settle import ChargeSettler
 from .coherency import FlagSlab
-from .fusion import BufferFusionServer, FusionUnavailableError, PageLockService
+from .fusion import (
+    BufferFusionServer,
+    FusionUnavailableError,
+    PageLockService,
+    RpcExhaustedError,
+)
 
 __all__ = ["CachedPageAccessor", "SharedCxlBufferPool", "MultiPrimaryNode"]
 
@@ -105,6 +111,7 @@ class SharedCxlBufferPool(BufferPool):
         self.flag_slab = flag_slab
         self.meter = meter
         self.config = config or LatencyConfig()
+        self.retry_policy = BackoffPolicy.from_latency(self.config)
         self._meta: dict[int, _NodePageMeta] = {}
         self._free_entries = list(range(flag_slab.n_entries - 1, -1, -1))
         self._pins: dict[int, int] = {}
@@ -284,7 +291,7 @@ class SharedCxlBufferPool(BufferPool):
         # server was never told — no invalid flags pushed, DBP copy not
         # marked dirty. Failover must treat the page as suspect.
         crash_point("sharing.flush.lines")
-        self.fusion.on_write_release(page_id, self.node_id, self.meter)
+        self._release_rpc(page_id)
         if span is not None:
             spans.end(span, lines=written, nbytes=written * CACHE_LINE)
         return written
@@ -317,12 +324,13 @@ class SharedCxlBufferPool(BufferPool):
         return meta
 
     def _request_page_rpc(self, page_id: int, entry: int) -> int:
-        """RPC to the fusion server with timeout + exponential backoff.
+        """RPC to the fusion server with timeout + capped backoff.
 
         The fusion server can be briefly unreachable (restart, network
-        partition); the node burns the RPC timeout, backs off, and
-        retries. Only after ``rpc_max_retries`` consecutive losses does
-        the failure surface to the caller.
+        partition); the node burns the RPC timeout, backs off per
+        :attr:`retry_policy` (capped exponential), and retries. Once the
+        policy's attempt or total-time budget is spent, a typed
+        :class:`RpcExhaustedError` surfaces to the caller.
         """
         spans = spans_active()
         span = (
@@ -331,6 +339,7 @@ class SharedCxlBufferPool(BufferPool):
             else None
         )
         attempts = 0
+        spent_ns = 0.0
         try:
             while True:
                 try:
@@ -341,19 +350,55 @@ class SharedCxlBufferPool(BufferPool):
                         self.flag_slab.removal_addr(entry),
                         self.meter,
                     )
-                except FusionUnavailableError:
+                except RpcExhaustedError:
+                    raise
+                except FusionUnavailableError as exc:
                     attempts += 1
-                    self.rpc_retries += 1
-                    if attempts > self.config.rpc_max_retries:
-                        raise
-                    self.meter.charge_ns(
-                        self.config.rpc_timeout_ns
-                        + self.config.rpc_retry_backoff_ns * (2 ** (attempts - 1))
+                    spent_ns = self._charge_retry_or_raise(
+                        "request_page", page_id, attempts, spent_ns, exc
                     )
-                    self.meter.count("fusion_rpc_retries")
         finally:
             if span is not None:
                 spans.end(span, retries=attempts)
+
+    def _release_rpc(self, page_id: int) -> int:
+        """``on_write_release`` to the fusion server, under the same
+        retry/backoff policy as the request path — the release RPC can
+        be lost too, and losing it silently would leave every other
+        node's cache stale."""
+        attempts = 0
+        spent_ns = 0.0
+        while True:
+            try:
+                return self.fusion.on_write_release(
+                    page_id, self.node_id, self.meter
+                )
+            except RpcExhaustedError:
+                raise
+            except FusionUnavailableError as exc:
+                attempts += 1
+                spent_ns = self._charge_retry_or_raise(
+                    "on_write_release", page_id, attempts, spent_ns, exc
+                )
+
+    def _charge_retry_or_raise(
+        self,
+        op: str,
+        page_id: int,
+        attempts: int,
+        spent_ns: float,
+        cause: FusionUnavailableError,
+    ) -> float:
+        """Shared loss bookkeeping: count the failure, charge the
+        timeout+backoff wait and return the new total, or raise
+        :class:`RpcExhaustedError` once the policy budget is gone."""
+        self.rpc_retries += 1
+        wait = self.retry_policy.next_wait_ns(attempts, spent_ns)
+        if wait is None:
+            raise RpcExhaustedError(op, page_id, attempts, spent_ns) from cause
+        self.meter.charge_ns(wait)
+        self.meter.count("fusion_rpc_retries")
+        return spent_ns + wait
 
     def _evict_entry(self) -> None:
         for page_id, meta in self._meta.items():
@@ -526,6 +571,19 @@ class MultiPrimaryNode:
             # Dead node: the write lock stays held (protecting readers
             # from the possibly-torn page) until failover rebuilds the
             # page and force-releases it.
+            raise
+        except FusionUnavailableError:
+            # The fusion server stayed unreachable through the whole
+            # retry budget, possibly *after* this node flushed modified
+            # lines to CXL with no invalidations pushed: the page is
+            # suspect and this node is fenced for it. Keep the write
+            # lock held — failover rebuilds the page and force-releases
+            # it; unlocking here would hand the next locker stale or
+            # torn bytes.
+            if tracer is not None:
+                tracer.emit(
+                    "lock", "write_fenced", node=self.node_id, page=leaf_id
+                )
             raise
         except BaseException:
             self._unlock_write(leaf_id)

@@ -34,6 +34,10 @@ __all__ = [
     "uninstall",
 ]
 
+# Sentinel count for an RPC outage: fails every call until restored.
+# Negative so it can never collide with a valid fail_rpcs() count.
+_UNLIMITED = -1
+
 
 class InjectedCrash(Exception):
     """The simulated power failed at a named crash point.
@@ -114,6 +118,21 @@ class FaultInjector:
         self._rpc_failures[name] = count
         return self
 
+    def outage_rpcs(self, name: str) -> "FaultInjector":
+        """Make the named RPC fail *every* call until :meth:`restore_rpcs`.
+
+        Models a dead service (fusion-server death) rather than a lossy
+        link: callers exhaust their retry budgets against it, which is
+        what drives the circuit breaker in the HA degraded-mode
+        scenarios.
+        """
+        self._rpc_failures[name] = _UNLIMITED
+        return self
+
+    def restore_rpcs(self, name: str) -> None:
+        """End an RPC outage (or cancel remaining armed failures)."""
+        self._rpc_failures.pop(name, None)
+
     # -- the hot-path hooks ---------------------------------------------------------
 
     def point(
@@ -142,9 +161,10 @@ class FaultInjector:
     def take_rpc_failure(self, name: str) -> bool:
         """Whether this call of the named RPC should fail (and consume it)."""
         remaining = self._rpc_failures.get(name, 0)
-        if remaining <= 0:
+        if remaining == 0:
             return False
-        self._rpc_failures[name] = remaining - 1
+        if remaining != _UNLIMITED:
+            self._rpc_failures[name] = remaining - 1
         self.rpc_failures_injected += 1
         return True
 

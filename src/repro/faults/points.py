@@ -46,8 +46,19 @@ REGISTERED_POINTS = frozenset(
         "fusion.request.loaded",
         "fusion.release.dirty",
         "fusion.recycle.written",
+        # fusion failover (swept by the failover-storm sweep: each one
+        # can fire *inside* a failover that is itself cleaning up a
+        # crash, and a re-run must still converge)
+        "fusion.failover.rebuilt",
+        "fusion.failover.released",
+        "fusion.failover.done",
+        # fleet HA (repro.ha): a joining node adopting the warm pool
+        "sharing.join.warm",
         # recovery
         "recovery.done",
+        # log retirement at fleet failover: hardening the dead node's
+        # durable log into storage, one page per hit (re-entrant)
+        "recovery.retire.page",
         "recovery.lru",
         "recovery.rebuild.done",
         "recovery.rebuild.image",

@@ -25,6 +25,11 @@ Three sweeps live here:
   locks), and verify the survivor reads exactly the committed values —
   and, when the writer survives, that it can still write (the locks
   really were released; a leak would deadlock the simulator).
+* :func:`sweep_failover_storm_points` — crash *failover itself* at every
+  point the coordinator reaches (fusion rebuild, hardening writes, lock
+  breaking, log retirement — including torn storage writes), then run
+  failover again: the retry must converge on exactly the committed
+  state (the fleet failover-storm guarantee of :mod:`repro.ha`).
 
 The oracle is a map ``durable_max_lsn -> {key: k}`` snapshotted after
 every transaction of the golden run. The canonical workloads use
@@ -49,7 +54,7 @@ from ..analysis.memsan import active as memsan_active
 from ..core.block import pool_bytes_needed
 from ..core.cxl_bufferpool import CxlBufferPool
 from ..core.memmgr import CxlMemoryManager
-from ..core.recovery import PolarRecv
+from ..core.recovery import PolarRecv, retire_log
 from ..db.constants import PAGE_SIZE
 from ..db.engine import Engine
 from ..db.record import Field, RecordCodec
@@ -73,6 +78,7 @@ __all__ = [
     "sweep_workload_points",
     "sweep_recovery_points",
     "sweep_sharing_points",
+    "sweep_failover_storm_points",
 ]
 
 SWEEP_CODEC = RecordCodec(
@@ -703,5 +709,165 @@ def sweep_sharing_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepRep
     for point, hit in _select_hits(golden.trace, max_hits_per_point):
         report.outcomes.append(
             _sharing_crash_and_failover(seed, point, hit, golden)
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Failover-storm sweep: crash the failover coordinator itself
+# ---------------------------------------------------------------------------
+
+# Kill the writer mid-flush a few updates in: the update is durable, the
+# page write lock is held, the release RPC was never sent — so failover
+# has real work (rebuild + hardening + lock breaking + log retirement)
+# at every one of its crash points.
+_STORM_CRASH_POINT = "sharing.flush.lines"
+_STORM_CRASH_HIT = 5
+
+
+def _storm_failover(setup, actor: str = "failover") -> None:
+    """One failover attempt, fleet-style: fusion page rebuild + lock
+    breaking, then retirement of the dead node's whole durable log into
+    storage (see :func:`repro.core.recovery.retire_log` — what
+    :mod:`repro.ha.scenarios` runs at every failover)."""
+    dead = setup.nodes[0]
+    assert setup.fusion is not None
+    ms = memsan_active()
+    with ms.actor(actor) if ms is not None else nullcontext():
+        setup.fusion.recover_node_failure(
+            dead.node_id,
+            dead.engine.redo_log,
+            AccessMeter(),
+            lock_service=setup.lock_service,
+            write_locked_pages=sorted(dead.write_locks_held),
+            read_locked_pages=sorted(dead.read_locks_held),
+        )
+        retire_log(
+            setup.page_store, dead.engine.redo_log, AccessMeter(), setup.config
+        )
+
+
+def _storm_crash_writer(setup, model: dict, seed: int, span_tracer) -> bool:
+    """Run the canonical ops with the writer crash armed; True if it
+    fired (the setup is then left with node0 dead, lock held)."""
+    injector = FaultInjector(seed=seed).arm(_STORM_CRASH_POINT, _STORM_CRASH_HIT)
+    try:
+        with span_tracer or nullcontext(), injector:
+            _run_sharing_ops(setup, _sharing_ops(), model, {}, [0])
+    except InjectedCrash:
+        _crash_abandon(span_tracer)
+        setup.nodes[0].engine.crash()
+        setup.hosts[0].crash()
+        return True
+    return False
+
+
+def _storm_crash_and_refailover(
+    seed: int, point: str, hit: int, golden: _GoldenRun
+) -> SweepOutcome:
+    setup = _build_sharing(seed)
+    model = _sharing_prephase(setup)
+    ms = _sweep_memsan(setup)
+    span_tracer = _sweep_spans()
+    with ms or nullcontext():
+        outcome = _storm_inner(setup, point, hit, golden, model, seed, span_tracer)
+    if ms is not None and ms.reports and outcome.ok:
+        return SweepOutcome(
+            point, hit, outcome.crashed, False, f"memsan: {ms.reports[0]}"
+        )
+    return outcome
+
+
+def _storm_inner(
+    setup,
+    point: str,
+    hit: int,
+    golden: _GoldenRun,
+    model: dict,
+    seed: int,
+    span_tracer,
+) -> SweepOutcome:
+    if not _storm_crash_writer(setup, model, seed, span_tracer):
+        return SweepOutcome(point, hit, False, False, "writer crash never fired")
+    _check_spans(span_tracer, allow_abandoned=True)
+    ms = memsan_active()
+    if ms is not None:
+        ms.actor_crashed(setup.nodes[0].node_id, inheritor="failover1")
+
+    # Attempt 1: armed at the storm coordinate — failover itself dies.
+    storm_injector = FaultInjector(seed=seed).arm(point, hit)
+    try:
+        with storm_injector:
+            _storm_failover(setup, actor="failover1")
+    except InjectedCrash:
+        pass
+    else:
+        return SweepOutcome(
+            point, hit, False, False, "storm point never fired during failover"
+        )
+    # Attempt 2: the half-done failover crashed; a clean re-run must
+    # converge — force-apply rebuilds and idempotent retirement make
+    # every coordinate (including torn hardening writes) retryable.
+    if ms is not None:
+        ms.actor_crashed("failover1", inheritor="failover2")
+    _storm_failover(setup, actor="failover2")
+
+    survivor = setup.nodes[1]
+    durable = setup.nodes[0].engine.redo_log.durable_max_lsn
+    expected = _expected_at(golden.snapshots, durable)
+    for key in sorted(expected):
+        row = setup.sim.run_process(survivor.point_select(_SHARED_TABLE, key))
+        got = None if row is None else row["k"]
+        if got != expected[key]:
+            return SweepOutcome(
+                point,
+                hit,
+                True,
+                False,
+                f"survivor read key {key}: {got} != committed {expected[key]}",
+            )
+    # The dead writer held the first leaf's write lock at crash time; a
+    # leaked lock would deadlock this probe.
+    probe_key = _SHARED_KEYS[0]
+    setup.sim.run_process(
+        survivor.point_update(_SHARED_TABLE, probe_key, "k", 8888)
+    )
+    row = setup.sim.run_process(survivor.point_select(_SHARED_TABLE, probe_key))
+    if row is None or row["k"] != 8888:
+        return SweepOutcome(
+            point, hit, True, False, "post-storm write not visible"
+        )
+    return SweepOutcome(point, hit, True, True)
+
+
+def sweep_failover_storm_points(
+    seed: int = 7, max_hits_per_point: int = 2
+) -> SweepReport:
+    """Crash failover at every coordinate it reaches, then re-run it.
+
+    Enumeration runs one clean failover (after the canonical writer
+    crash) with a passive injector; every ``(point, hit)`` it records —
+    fusion rebuild/release/done, the hardening ``pagestore.write_page``
+    (torn), ``recovery.retire.page`` — becomes a coordinate where a
+    fresh run arms the failover, watches it die, and requires the retry
+    to converge on exactly the committed state."""
+    golden = _sharing_golden(seed)
+    probe_setup = _build_sharing(seed)
+    probe_model = _sharing_prephase(probe_setup)
+    if not _storm_crash_writer(probe_setup, probe_model, seed, None):
+        raise CrashSweepError("storm sweep: the writer crash never fired")
+    failover_injector = FaultInjector(seed=seed)
+    with failover_injector:
+        _storm_failover(probe_setup)
+    trace = list(failover_injector.trace)
+    if not trace:
+        raise CrashSweepError("storm sweep enumerated no failover points")
+    report = SweepReport(
+        "failover-storm",
+        distinct_points=sorted({name for name, _ in trace}),
+    )
+    for point, hit in _select_hits(trace, max_hits_per_point):
+        report.outcomes.append(
+            _storm_crash_and_refailover(seed, point, hit, golden)
         )
     return report

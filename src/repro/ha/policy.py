@@ -1,0 +1,145 @@
+"""Deterministic retry/timeout/backoff policy for fusion/DBP RPCs.
+
+The node side of the sharing protocol talks to the buffer fusion server
+over RPCs that can be lost (server restart, partition, fusion-server
+death). This module packages the degradation behaviour as data:
+
+* :class:`BackoffPolicy` — capped exponential backoff with a per-op
+  total time budget. Each lost RPC burns the timeout plus a backoff
+  that doubles up to a cap; once the attempt or time budget is spent
+  the caller surfaces a typed
+  :class:`~repro.core.fusion.RpcExhaustedError` instead of retrying
+  forever.
+* :class:`CircuitBreaker` — the fleet-level graceful-degradation gate.
+  After ``failure_threshold`` consecutive exhausted RPCs the breaker
+  opens: writes are shed to a drainable backlog (degraded read-only
+  mode) instead of burning full timeout budgets against a dead shard.
+  After ``cooldown_ns`` of simulated time a single probe is allowed
+  (half-open); its outcome closes or re-opens the breaker.
+
+Everything is driven by simulated time passed in by the caller — no
+wall clocks, no global randomness (REPRO001) — so every HA scenario is
+a deterministic function of its seed.
+
+>>> policy = BackoffPolicy(timeout_ns=1e6, base_backoff_ns=5e5, max_attempts=4)
+>>> [policy.next_wait_ns(k, 0.0) for k in (1, 2, 3, 4)]
+[1500000.0, 2000000.0, 3000000.0, None]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.latency import LatencyConfig
+
+__all__ = ["BackoffPolicy", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with attempt and total-time budgets.
+
+    ``max_attempts`` counts *calls*, not retries: the default derived
+    from :class:`~repro.sim.latency.LatencyConfig` (``rpc_max_retries``
+    retries) allows ``rpc_max_retries + 1`` calls in total, matching the
+    retry arithmetic the sharing path always had.
+    """
+
+    timeout_ns: float = 1_000_000.0
+    base_backoff_ns: float = 500_000.0
+    max_attempts: int = 4
+    cap_backoff_ns: float = 8_000_000.0
+    total_budget_ns: float = 64_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    @classmethod
+    def from_latency(cls, config: LatencyConfig) -> "BackoffPolicy":
+        """The policy the stock RPC constants imply (default node policy)."""
+        return cls(
+            timeout_ns=config.rpc_timeout_ns,
+            base_backoff_ns=config.rpc_retry_backoff_ns,
+            max_attempts=config.rpc_max_retries + 1,
+        )
+
+    def backoff_ns(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (1-based), capped."""
+        return min(self.cap_backoff_ns, self.base_backoff_ns * (2 ** (retry_index - 1)))
+
+    def next_wait_ns(self, attempts_done: int, spent_ns: float) -> float | None:
+        """Wait (timeout burned + backoff) before the next attempt.
+
+        Returns ``None`` when the policy is exhausted — either
+        ``attempts_done`` used up the attempt budget, or charging the
+        next wait would blow the per-op total time budget.
+        """
+        if attempts_done >= self.max_attempts:
+            return None
+        wait = self.timeout_ns + self.backoff_ns(attempts_done)
+        if spent_ns + wait > self.total_budget_ns:
+            return None
+        return wait
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker over simulated time.
+
+    States: ``closed`` (normal), ``open`` (shedding), ``half_open``
+    (one probe in flight). The caller passes ``now_ns`` (its simulator
+    clock) into every transition method; the breaker itself holds no
+    clock, keeping it reproducible and REPRO001-clean.
+
+    >>> breaker = CircuitBreaker(failure_threshold=2, cooldown_ns=1000)
+    >>> breaker.on_failure(now_ns=0); breaker.state
+    'closed'
+    >>> breaker.on_failure(now_ns=10); breaker.state
+    'open'
+    >>> breaker.allows(now_ns=500)
+    False
+    >>> breaker.allows(now_ns=1500), breaker.state
+    (True, 'half_open')
+    >>> breaker.on_success(); breaker.state
+    'closed'
+    """
+
+    def __init__(self, failure_threshold: int = 2, cooldown_ns: float = 20_000_000.0):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_ns = cooldown_ns
+        self.state = "closed"
+        self.opens = 0
+        self.probes = 0
+        self._consecutive = 0
+        self._opened_at_ns = 0.0
+
+    def allows(self, now_ns: float) -> bool:
+        """Whether an op may be attempted now; may go half-open."""
+        if self.state == "closed":
+            return True
+        if self.state == "half_open":
+            # One probe at a time: further ops stay shed until it lands.
+            return False
+        if now_ns - self._opened_at_ns >= self.cooldown_ns:
+            self.state = "half_open"
+            self.probes += 1
+            return True
+        return False
+
+    def on_success(self) -> None:
+        """An attempted op succeeded; a half-open probe closes the breaker."""
+        self._consecutive = 0
+        if self.state == "half_open":
+            self.state = "closed"
+
+    def on_failure(self, now_ns: float) -> None:
+        """An attempted op exhausted its RPC budget."""
+        self._consecutive += 1
+        if self.state == "half_open" or self._consecutive >= self.failure_threshold:
+            if self.state != "open":
+                self.opens += 1
+            self.state = "open"
+            self._consecutive = 0
+            self._opened_at_ns = now_ns

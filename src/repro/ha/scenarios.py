@@ -1,0 +1,847 @@
+"""Fleet HA scenarios: scripted failure choreography over the injector.
+
+Four scenarios exercise the sharing fleet's availability story end to
+end, each under the full monitoring stack (MemSan, trace invariants,
+span crash-abandon semantics) and an exact fleet-wide committed-state
+oracle:
+
+* :func:`run_rolling_crash` — rolling crashes across an N-node fleet
+  while a deterministic op stream stays applied; each crash is followed
+  by fusion failover, log retirement, epoch alignment, and a routing
+  handover to the ring successor.
+* :func:`run_join_leave` — graceful departure of a primary, then a
+  fresh primary attaching to the surviving CXL pool and inheriting the
+  warm DBP; the warm attach is timed in simulated ms against the
+  PolarRecv / RDMA-assisted / ARIES recovery baselines.
+* :func:`run_failover_storm` — repeated crash-during-failover: the
+  failover coordinator itself dies at successive crash points (including
+  a torn hardening write) until an attempt finally completes.
+* :func:`run_degraded_mode` — a fusion RPC outage trips a circuit
+  breaker; writes are shed to a drainable backlog while warm reads keep
+  being served (degraded read-only mode); after the outage the breaker
+  half-opens, a probe closes it, and the backlog drains.
+
+The load layer is :class:`~repro.workloads.driver.FleetLoadDriver`
+(ring re-routing past dead nodes) fed by
+:class:`~repro.faults.schedule.FaultSchedule` events. Each node writes
+only its own leaf-disjoint key partition — the single-writer-per-page
+ownership discipline that, combined with log retirement at every
+failover (:func:`~repro.core.recovery.retire_log`), makes the
+storage+log page rebuild sound across arbitrarily many successive
+owners.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..analysis.memsan import MemSan, scoped_actor
+from ..analysis.memsan import active as memsan_active
+from ..bench.harness import SharingSetup, add_sharing_node, build_sharing_setup
+from ..bench.recovery_exp import run_recovery_experiment
+from ..core.fusion import RpcExhaustedError
+from ..core.recovery import retire_log
+from ..faults.injector import FaultInjector, InjectedCrash
+from ..faults.schedule import FaultEvent, FaultSchedule
+from ..hardware.memory import AccessMeter
+from ..obs.invariants import assert_span_invariants, assert_trace_invariants
+from ..obs.spans import SpanTracer
+from ..obs.spans import active as spans_active
+from ..obs.trace import Tracer
+from ..obs.trace import active as obs_active
+from ..workloads.driver import FleetLoadDriver, FleetOp
+from ..workloads.sysbench import SysbenchWorkload
+from .policy import CircuitBreaker
+from .timeline import AvailabilityTimeline
+
+__all__ = [
+    "FleetOracleError",
+    "FleetResult",
+    "run_rolling_crash",
+    "run_join_leave",
+    "run_failover_storm",
+    "run_degraded_mode",
+    "SCENARIOS",
+]
+
+_TABLE = "sbtest_shared"
+
+
+class FleetOracleError(AssertionError):
+    """A fleet scenario's committed-state oracle (or choreography
+    precondition) was violated."""
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet scenario run."""
+
+    scenario: str
+    seed: int
+    timeline: AvailabilityTimeline
+    oracle_checks: int
+    failovers: int
+    memsan_reports: int
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def summary_lines(self) -> list[str]:
+        lines = self.timeline.summary_lines()
+        lines.append(
+            f"  oracle: {self.oracle_checks} committed-state check(s), "
+            f"{self.failovers} failover(s), "
+            f"{self.memsan_reports} memsan report(s)"
+        )
+        for key, value in sorted(self.detail.items()):
+            lines.append(f"  {key}: {value}")
+        return lines
+
+
+class _Fleet:
+    """Shared scenario machinery: partitioned load, the committed-state
+    oracle, and the crash → failover → retirement → handover dance."""
+
+    def __init__(
+        self,
+        scenario: str,
+        n_nodes: int,
+        rows: int,
+        seed: int,
+        injector: FaultInjector,
+    ) -> None:
+        self.scenario = scenario
+        self.seed = seed
+        self.rows = rows
+        self.workload = SysbenchWorkload(rows=rows, n_nodes=n_nodes)
+        self.setup: SharingSetup = build_sharing_setup(
+            "cxl", n_nodes, self.workload, seed=seed
+        )
+        self.sim = self.setup.sim
+        self.injector = injector
+        self.driver = FleetLoadDriver(self.setup)
+        self.timeline = AvailabilityTimeline(scenario, seed, n_nodes)
+        # The oracle: key -> last committed "k" value, fleet-wide.
+        self.model: dict[int, int] = {}
+        self.oracle_checks = 0
+        self.failovers = 0
+        self.last_failover: dict[str, Any] = {}
+        self.next_value = 1000
+        self.write_keys: dict[int, list[int]] = {}
+        self.key_leaf: dict[int, int] = {}
+        self.spare_keys: list[int] = []
+        self._op_index = 0
+
+    # -- op stream -------------------------------------------------------------
+
+    def _next_index(self) -> int:
+        index = self._op_index
+        self._op_index += 1
+        return index
+
+    def partition_writes(self, keys_per_node: int = 3, probe_step: int = 5) -> None:
+        """Give each node a leaf-disjoint write partition.
+
+        Keys are probed for their leaf through node0's btree and whole
+        leaves are dealt round-robin, so no two nodes ever write the
+        same page — the single-writer-per-page ownership the failover
+        rebuild (storage + dead node's log) relies on. Keys on leaves
+        nobody ended up writing become ``spare_keys``: fresh coordinates
+        other nodes have never registered, which the degraded-mode
+        scenario uses to force fusion RPCs.
+        """
+        node0 = self.setup.nodes[0]
+        by_leaf: dict[int, list[int]] = {}
+        leaf_order: list[int] = []
+        with scoped_actor(node0.node_id):
+            for key in range(1, self.rows + 1, probe_step):
+                leaf = node0._leaf_of(_TABLE, key)
+                self.key_leaf[key] = leaf
+                if leaf not in by_leaf:
+                    by_leaf[leaf] = []
+                    leaf_order.append(leaf)
+                by_leaf[leaf].append(key)
+        self.sim.run_process(node0.settler.settle())
+        n = len(self.setup.nodes)
+        if len(leaf_order) < n:
+            raise FleetOracleError(
+                f"{len(leaf_order)} leaves cannot partition {n} writers"
+            )
+        assigned: dict[int, list[int]] = {i: [] for i in range(n)}
+        for pos, leaf in enumerate(leaf_order):
+            assigned[pos % n].extend(by_leaf[leaf])
+        self.write_keys = {i: keys[:keys_per_node] for i, keys in assigned.items()}
+        used_leaves = {
+            self.key_leaf[k] for keys in self.write_keys.values() for k in keys
+        }
+        self.spare_keys = [
+            k for k in sorted(self.key_leaf) if self.key_leaf[k] not in used_leaves
+        ]
+
+    def mixed_ops(self, rounds: int) -> list[FleetOp]:
+        """Per round, each partition owner updates one of its keys and
+        cross-reads its ring *predecessor*'s key — so every partition is
+        continuously read by the node that would inherit it at failover.
+        That keeps the successor registered on the victim's pages, which
+        is what routes the failover rebuild's invalid-flag pushes to it
+        (and doubles as coherency traffic plus a continuous oracle check
+        on every read)."""
+        ops: list[FleetOp] = []
+        owners = sorted(self.write_keys)
+        for r in range(rounds):
+            for pos, owner in enumerate(owners):
+                keys = self.write_keys[owner]
+                self.next_value += 1
+                ops.append(
+                    FleetOp(
+                        self._next_index(),
+                        "update",
+                        _TABLE,
+                        keys[r % len(keys)],
+                        owner,
+                        "k",
+                        self.next_value,
+                    )
+                )
+                other = owners[(pos - 1) % len(owners)]
+                okeys = self.write_keys[other]
+                ops.append(
+                    FleetOp(
+                        self._next_index(),
+                        "select",
+                        _TABLE,
+                        okeys[r % len(okeys)],
+                        owner,
+                    )
+                )
+        return ops
+
+    def pump(self, ops: list[FleetOp], schedule: Optional[FaultSchedule] = None) -> None:
+        """Apply ops in order, draining due schedule events first."""
+        for op in ops:
+            if schedule is not None:
+                for event in schedule.pop_due(op.index):
+                    self.apply_event(event)
+            status, _, result = self.driver.run_op(op)
+            if status != "ok":
+                raise FleetOracleError(
+                    f"{self.scenario}: unplanned crash during op {op.index}"
+                )
+            if op.kind == "update":
+                assert op.value is not None
+                self.model[op.key] = op.value
+            else:
+                self.note_read(op.key, result)
+            self.timeline.count("ok")
+
+    def note_read(self, key: int, row: Any) -> None:
+        """Every read doubles as an oracle check once the key is known."""
+        got = None if row is None else row["k"]
+        known = self.model.get(key)
+        if known is not None:
+            if got != known:
+                raise FleetOracleError(
+                    f"{self.scenario}: key {key} read {got!r}, "
+                    f"committed value is {known!r}"
+                )
+            self.oracle_checks += 1
+        elif got is not None:
+            self.model[key] = got
+
+    # -- fault choreography ------------------------------------------------------
+
+    def apply_event(self, event: FaultEvent) -> None:
+        if event.action == "crash":
+            assert event.node is not None
+            self.crash_node(event.node, event.point)
+        elif event.action == "outage":
+            self.injector.outage_rpcs(event.rpc)
+            self.timeline.event("outage_begin", self.sim.now, rpc=event.rpc)
+        elif event.action == "restore":
+            self.injector.restore_rpcs(event.rpc)
+            self.timeline.event("outage_end", self.sim.now, rpc=event.rpc)
+        else:
+            raise ValueError(
+                f"{event.action!r} events are scenario-scripted, not engine-applied"
+            )
+
+    def crash_node(
+        self, victim: int, point: str, storm: tuple[str, ...] = ()
+    ) -> None:
+        """Kill ``victim`` inside one designated update, then fail over.
+
+        The update is armed at the next hit of ``point``, so the node
+        dies at an exact protocol coordinate. Whether the value counts
+        as committed is decided the same way the crash sweep does: the
+        node's durable LSN advanced past its pre-op value.
+        """
+        node = self.setup.nodes[victim]
+        if self.driver.route(victim) != victim:
+            raise FleetOracleError(f"crash target node{victim} is not live")
+        key = self.write_keys[victim][0]
+        self.next_value += 1
+        value = self.next_value
+        pre_durable = node.engine.redo_log.durable_max_lsn
+        self.injector.arm(point, self.injector.hits.get(point, 0) + 1)
+        self.timeline.begin_phase(
+            f"crash {node.node_id}", "down", self.sim.now,
+            node=node.node_id, point=point,
+        )
+        op = FleetOp(self._next_index(), "update", _TABLE, key, victim, "k", value)
+        status, target, _ = self.driver.run_op(op)
+        self.injector.disarm()
+        if status != "crashed" or target != victim:
+            raise FleetOracleError(
+                f"armed crash at {point!r} did not kill node{victim} "
+                f"(op finished {status} on node{target})"
+            )
+        spans = spans_active()
+        if spans is not None:
+            spans.abandon_open()
+        committed = node.engine.redo_log.durable_max_lsn > pre_durable
+        if committed:
+            self.model[key] = value
+        self.timeline.count("failed")
+        self.timeline.event(
+            "crash_injected", self.sim.now,
+            node=node.node_id, point=point, committed=committed,
+        )
+        self.fail_over(victim, arm_points=storm)
+        self.timeline.begin_phase(
+            f"recovered ({len(self.driver.live)} live)", "up", self.sim.now,
+            live=len(self.driver.live),
+        )
+        self.probe_write(victim)
+        self.verify()
+
+    def fail_over(self, victim: int, arm_points: tuple[str, ...] = ()) -> None:
+        """Fusion failover + log retirement + epoch alignment + handover.
+
+        ``arm_points`` crash the failover itself, one attempt per point
+        (a failover storm); each crashed attempt's MemSan actor is
+        inherited by the next, and the final attempt must converge.
+        """
+        node = self.setup.nodes[victim]
+        node.engine.crash()
+        self.setup.hosts[victim].crash()
+        self.driver.mark_dead(victim)
+        ms = memsan_active()
+        spans = spans_active()
+        dead_actor = node.node_id
+        self.timeline.begin_phase(
+            f"failover {node.node_id}", "failover", self.sim.now, node=node.node_id
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            actor = f"failover-{node.node_id}-a{attempt}"
+            if ms is not None:
+                ms.actor_crashed(dead_actor, inheritor=actor)
+            dead_actor = actor
+            if attempt <= len(arm_points):
+                point = arm_points[attempt - 1]
+                self.injector.arm(point, self.injector.hits.get(point, 0) + 1)
+            meter = AccessMeter()
+            span = (
+                spans.begin("ha", "failover", meter=meter,
+                            node=node.node_id, attempt=attempt)
+                if spans is not None
+                else None
+            )
+            try:
+                with ms.actor(actor) if ms is not None else nullcontext():
+                    rebuilt = self.setup.fusion.recover_node_failure(
+                        node.node_id,
+                        node.engine.redo_log,
+                        meter,
+                        lock_service=self.setup.lock_service,
+                        write_locked_pages=sorted(node.write_locks_held),
+                        read_locked_pages=sorted(node.read_locks_held),
+                    )
+                    retired = retire_log(
+                        self.setup.page_store,
+                        node.engine.redo_log,
+                        meter,
+                        self.setup.config,
+                    )
+            except InjectedCrash:
+                self.injector.disarm()
+                if spans is not None:
+                    spans.abandon_open()
+                self.timeline.event(
+                    "failover_crashed", self.sim.now,
+                    node=node.node_id, attempt=attempt,
+                )
+                self._advance_ns(meter.ns)
+                continue
+            self.injector.disarm()
+            break
+        node.write_locks_held.clear()
+        node.read_locks_held.clear()
+        # The coordinator's metered work is the failover latency; elapse
+        # it so the phase (and the span) has its true simulated width.
+        self._advance_ns(meter.ns)
+        if span is not None:
+            spans.end(span, rebuilt=rebuilt, retired=retired)
+        # Epoch bump: every survivor's (and future joiner's) LSNs must
+        # sort after the dead node's entire log, or LSN-guarded redo
+        # could skip their post-takeover records on the inherited pages.
+        dead_next = node.engine.redo_log.next_lsn
+        self.setup.base_lsn = max(self.setup.base_lsn, dead_next)
+        for index in sorted(self.driver.live):
+            self.setup.nodes[index].engine.redo_log.align_lsn(dead_next)
+        self.failovers += 1
+        self.last_failover = {
+            "attempts": attempt,
+            "pages_rebuilt": rebuilt,
+            "pages_retired": retired,
+            "failover_ns": int(meter.ns),
+        }
+        self.timeline.annotate(**self.last_failover)
+        self.timeline.event(
+            "failover_done", self.sim.now, node=node.node_id, attempts=attempt
+        )
+
+    def probe_write(self, victim: int) -> None:
+        """The ring successor updates the dead node's in-flight key —
+        proving the force-released lock really is acquirable (a leaked
+        lock would deadlock right here)."""
+        key = self.write_keys[victim][0]
+        self.next_value += 1
+        op = FleetOp(
+            self._next_index(), "update", _TABLE, key, victim, "k", self.next_value
+        )
+        status, target, found = self.driver.run_op(op)
+        if status != "ok" or not found:
+            raise FleetOracleError(
+                f"post-failover write probe on key {key} failed on node{target}"
+            )
+        self.model[key] = self.next_value
+        self.timeline.count("ok")
+
+    def verify(self) -> None:
+        """Read back every key the oracle knows through a live node."""
+        reader_index = self.driver.route(0)
+        for key in sorted(self.model):
+            op = FleetOp(self._next_index(), "select", _TABLE, key, reader_index)
+            status, _, row = self.driver.run_op(op)
+            got = None if row is None else row["k"]
+            if status != "ok" or got != self.model[key]:
+                raise FleetOracleError(
+                    f"{self.scenario}: oracle mismatch on key {key}: "
+                    f"read {got!r}, committed {self.model[key]!r}"
+                )
+            self.oracle_checks += 1
+
+    # -- degraded-mode ops -------------------------------------------------------
+
+    def degraded_select(
+        self, key: int, executor: int, breaker: CircuitBreaker, probe: bool = False
+    ) -> Any:
+        """A read under outage policy. Warm reads need no fusion RPC and
+        always go through; a fresh key forces ``fusion.request_page``
+        and, during an outage, burns the whole retry budget before
+        surfacing the typed :class:`RpcExhaustedError`."""
+        op = FleetOp(self._next_index(), "select", _TABLE, key, executor)
+        try:
+            status, _, row = self.driver.run_op(op)
+        except RpcExhaustedError as exc:
+            spans = spans_active()
+            if spans is not None:
+                spans.abandon_open()
+            # The op raised before settling; elapse its timeout+backoff
+            # budget so breaker cooldown runs on honest simulated time.
+            self._advance_ns(exc.spent_ns)
+            breaker.on_failure(self.sim.now)
+            self.timeline.count("failed")
+            self.timeline.count("retried", max(exc.attempts - 1, 0))
+            self.timeline.event(
+                "rpc_exhausted", self.sim.now,
+                op=exc.op, key=key, attempts=exc.attempts,
+            )
+            return None
+        if status != "ok":
+            raise FleetOracleError("unplanned crash in degraded select")
+        if probe:
+            breaker.on_success()
+        self.note_read(key, row)
+        self.timeline.count("ok")
+        return row
+
+    def degraded_update(
+        self, op: FleetOp, breaker: CircuitBreaker, backlog: list[FleetOp]
+    ) -> bool:
+        """A write under outage policy: shed to the backlog while the
+        breaker is open, applied normally otherwise."""
+        if not breaker.allows(self.sim.now):
+            backlog.append(op)
+            self.timeline.count("shed")
+            return False
+        status, _, found = self.driver.run_op(op)
+        if status != "ok" or not found:
+            raise FleetOracleError("degraded update failed while breaker closed")
+        assert op.value is not None
+        self.model[op.key] = op.value
+        breaker.on_success()
+        self.timeline.count("ok")
+        return True
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _advance_ns(self, ns: float) -> None:
+        """Elapse charged-but-unsettled work (failover meters, burnt
+        retry budgets) on the simulator clock."""
+        if ns <= 0:
+            return
+        sim = self.sim
+
+        def waiter():
+            yield sim.timeout(int(ns))
+
+        sim.run_process(waiter())
+
+
+def _run_scenario(name: str, seed: int, n_nodes: int, rows: int, body) -> FleetResult:
+    """Install the full monitoring stack, run ``body``, check everything.
+
+    Installs whichever of MemSan / Tracer / SpanTracer is not already
+    active (so scenarios compose under an outer harness), plus a fresh
+    injector. After the body: trace invariants, span invariants with
+    crash-abandons allowed, and a MemSan sweep must all be clean.
+    """
+    injector = FaultInjector(seed=seed)
+    tracer = Tracer() if obs_active() is None else None
+    span_tracer = SpanTracer() if spans_active() is None else None
+    ms = MemSan() if memsan_active() is None else None
+    with ms or nullcontext():
+        with tracer or nullcontext(), span_tracer or nullcontext(), injector:
+            fleet = _Fleet(name, n_nodes, rows, seed, injector)
+            if ms is not None:
+                ms.watch_setup(fleet.setup)
+            detail = body(fleet) or {}
+            fleet.timeline.end(fleet.sim.now)
+    if tracer is not None:
+        stats = assert_trace_invariants(tracer)
+        detail.setdefault("trace_events", stats.events)
+    if span_tracer is not None:
+        assert_span_invariants(span_tracer, allow_abandoned=True)
+    if ms is not None:
+        ms.check()
+    return FleetResult(
+        scenario=name,
+        seed=seed,
+        timeline=fleet.timeline,
+        oracle_checks=fleet.oracle_checks,
+        failovers=fleet.failovers,
+        memsan_reports=len(ms.reports) if ms is not None else 0,
+        detail=detail,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario (a): rolling crashes under live load
+# ---------------------------------------------------------------------------
+
+
+def run_rolling_crash(
+    seed: int = 11,
+    n_nodes: int = 3,
+    rows: int = 240,
+    rounds_between: int = 2,
+    keys_per_node: int = 3,
+) -> FleetResult:
+    """Crash ``n_nodes - 1`` primaries one after another while the op
+    stream keeps flowing, driven entirely by a :class:`FaultSchedule`."""
+    crash_points = ("node.update.logged", "mtr.write.applied", "sharing.flush.lines")
+
+    def body(fleet: _Fleet) -> dict[str, Any]:
+        tl, sim = fleet.timeline, fleet.sim
+        tl.begin_phase("warmup", "up", sim.now, live=n_nodes)
+        fleet.partition_writes(keys_per_node=keys_per_node)
+        ops = fleet.mixed_ops(rounds_between * n_nodes)
+        per_segment = len(ops) // n_nodes
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    at_op=ops[(victim + 1) * per_segment].index,
+                    action="crash",
+                    node=victim,
+                    point=crash_points[victim % len(crash_points)],
+                )
+                for victim in range(n_nodes - 1)
+            ]
+        )
+        tl.begin_phase("healthy", "up", sim.now, live=n_nodes)
+        fleet.pump(ops, schedule=schedule)
+        if schedule.pending:
+            raise FleetOracleError("fault schedule did not drain")
+        fleet.verify()
+        return {"live_nodes": len(fleet.driver.live), "ops_run": fleet.driver.ops_run}
+
+    result = _run_scenario("rolling-crash", seed, n_nodes, rows, body)
+    if result.failovers != n_nodes - 1:
+        raise FleetOracleError(
+            f"expected {n_nodes - 1} failovers, saw {result.failovers}"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Scenario (b): graceful leave, warm join, recovery baselines
+# ---------------------------------------------------------------------------
+
+
+def run_join_leave(
+    seed: int = 13,
+    rows: int = 200,
+    with_baselines: bool = True,
+    baseline_rows: int = 2400,
+) -> FleetResult:
+    """A primary leaves gracefully; a fresh primary joins and inherits
+    the warm CXL buffer pool (PolarRecv-style warm attach: zero storage
+    reads). With ``with_baselines`` the attach time is compared against
+    full recovery under polarrecv / rdma / vanilla-ARIES, which must
+    order CXL fastest."""
+
+    def body(fleet: _Fleet) -> dict[str, Any]:
+        tl, sim, setup = fleet.timeline, fleet.sim, fleet.setup
+        tl.begin_phase("warmup", "up", sim.now, live=2)
+        fleet.partition_writes(keys_per_node=3)
+        tl.begin_phase("healthy", "up", sim.now, live=2)
+        fleet.pump(fleet.mixed_ops(2))
+
+        # Graceful leave: node1 stops serving, the fusion server drops
+        # its registrations, its partition routes to the ring successor.
+        leaver = setup.nodes[1]
+        tl.begin_phase("leave node1", "up", sim.now, node=leaver.node_id)
+        dropped = setup.fusion.deregister_node(leaver.node_id)
+        fleet.driver.mark_dead(1)
+        tl.event("leave", sim.now, node=leaver.node_id, entries_dropped=dropped)
+        fleet.pump(fleet.mixed_ops(1))
+        fleet.verify()
+
+        # Warm join: a fresh primary attaches to the surviving pool,
+        # reusing the leaver's flag-slab extent.
+        tl.begin_phase("join node2 (warm attach)", "join", sim.now)
+        join_start = sim.now
+        loaded_before = setup.fusion.pages_loaded
+        with scoped_actor(f"node{len(setup.nodes)}"):
+            joiner = add_sharing_node(
+                setup,
+                reuse_slab=leaver.engine.buffer_pool.flag_slab,
+                warm_join=True,
+            )
+            joiner_index = fleet.driver.add_node(joiner)
+            sim.run_process(joiner.settler.settle())
+        warm_keys = sorted(k for keys in fleet.write_keys.values() for k in keys)
+        for key in warm_keys:
+            op = FleetOp(fleet._next_index(), "select", _TABLE, key, joiner_index)
+            status, target, row = fleet.driver.run_op(op)
+            if status != "ok" or target != joiner_index:
+                raise FleetOracleError("joiner failed a warm read")
+            fleet.note_read(key, row)
+            tl.count("ok")
+        attach_ns = sim.now - join_start
+        if setup.fusion.pages_loaded != loaded_before:
+            raise FleetOracleError(
+                "join was not warm: fusion loaded pages from storage"
+            )
+        tl.annotate(attach_ms=attach_ns / 1e6, warm_reads=len(warm_keys))
+
+        # The joiner inherits the leaver's write partition and serves it.
+        tl.begin_phase("joined steady state", "up", sim.now, live=2)
+        fleet.pump(fleet.mixed_ops(1))
+        fleet.verify()
+
+        detail: dict[str, Any] = {
+            "attach_ms": attach_ns / 1e6,
+            "warm_reads": len(warm_keys),
+        }
+        if with_baselines:
+            # Recovery baselines run their own simulators; re-anchor the
+            # span clock to the fleet sim afterwards.
+            tl.begin_phase("recovery baselines", "up", sim.now)
+            baseline_ms: dict[str, float] = {}
+            warm_fraction = 0.0
+            for scheme in ("polarrecv", "rdma", "vanilla"):
+                timeline = run_recovery_experiment(
+                    scheme,
+                    rows=baseline_rows,
+                    workers=4,
+                    phase1_txns=2,
+                    phase2_txns=6,
+                    seed=seed,
+                )
+                baseline_ms[scheme] = timeline.recovery_seconds * 1e3
+                if scheme == "polarrecv" and timeline.detail is not None:
+                    warm_fraction = timeline.detail.warm_fraction
+            spans = spans_active()
+            if spans is not None:
+                spans.attach_clock(lambda: fleet.sim.now)
+            if baseline_ms["polarrecv"] >= min(
+                baseline_ms["rdma"], baseline_ms["vanilla"]
+            ):
+                raise FleetOracleError(
+                    f"polarrecv recovery must be the fastest baseline: {baseline_ms}"
+                )
+            if attach_ns / 1e6 >= baseline_ms["rdma"]:
+                raise FleetOracleError(
+                    "warm CXL attach must beat RDMA-assisted recovery"
+                )
+            detail["baseline_recovery_ms"] = {
+                k: round(v, 3) for k, v in baseline_ms.items()
+            }
+            detail["polarrecv_warm_fraction"] = round(warm_fraction, 3)
+            tl.annotate(
+                baseline_recovery_ms=detail["baseline_recovery_ms"],
+                polarrecv_warm_fraction=detail["polarrecv_warm_fraction"],
+            )
+        return detail
+
+    return _run_scenario("join-leave", seed, 2, rows, body)
+
+
+# ---------------------------------------------------------------------------
+# Scenario (c): fusion failover storm
+# ---------------------------------------------------------------------------
+
+
+def run_failover_storm(
+    seed: int = 17,
+    rows: int = 200,
+    storm_points: tuple[str, ...] = (
+        "fusion.failover.rebuilt",
+        "pagestore.write_page",
+        "fusion.failover.released",
+    ),
+) -> FleetResult:
+    """Crash-during-failover, repeatedly: the writer dies mid-flush with
+    its release RPC unsent, then each failover attempt dies at the next
+    storm point (including a torn hardening write) before one finally
+    converges. Every attempt inherits the previous attempt's MemSan
+    actor, so the force-apply rebuild must be re-entrant at each
+    coordinate."""
+
+    def body(fleet: _Fleet) -> dict[str, Any]:
+        tl, sim = fleet.timeline, fleet.sim
+        tl.begin_phase("warmup", "up", sim.now, live=2)
+        fleet.partition_writes(keys_per_node=3)
+        tl.begin_phase("healthy", "up", sim.now, live=2)
+        fleet.pump(fleet.mixed_ops(2))
+        fleet.crash_node(0, "sharing.flush.lines", storm=storm_points)
+        fleet.pump(fleet.mixed_ops(1))
+        fleet.verify()
+        return dict(fleet.last_failover)
+
+    result = _run_scenario("failover-storm", seed, 2, rows, body)
+    expected_attempts = len(storm_points) + 1
+    if result.detail.get("attempts") != expected_attempts:
+        raise FleetOracleError(
+            f"storm should take {expected_attempts} attempts, "
+            f"took {result.detail.get('attempts')}"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Scenario (d): graceful degradation under an RPC outage
+# ---------------------------------------------------------------------------
+
+
+def run_degraded_mode(seed: int = 19, rows: int = 260) -> FleetResult:
+    """A fusion RPC outage trips the circuit breaker after two exhausted
+    retry budgets; the fleet degrades to read-only (warm reads served,
+    writes shed to a backlog), then recovers: cooldown, half-open probe,
+    breaker closes, backlog drains in order, oracle verifies."""
+
+    def body(fleet: _Fleet) -> dict[str, Any]:
+        tl, sim = fleet.timeline, fleet.sim
+        breaker = CircuitBreaker()
+        tl.begin_phase("warmup", "up", sim.now, live=2)
+        fleet.partition_writes(keys_per_node=3)
+        tl.begin_phase("healthy", "up", sim.now, live=2)
+        fleet.pump(fleet.mixed_ops(2))
+        if len(fleet.spare_keys) < 3:
+            raise FleetOracleError("need 3 spare (never-registered) keys")
+
+        fleet.apply_event(
+            FaultEvent(at_op=0, action="outage", rpc="fusion.request_page")
+        )
+        fleet.apply_event(
+            FaultEvent(at_op=0, action="outage", rpc="fusion.on_write_release")
+        )
+        tl.begin_phase("outage: tripping breaker", "degraded", sim.now)
+        # Two fresh-key reads burn their full retry budgets and trip the
+        # breaker (failure_threshold=2). Exhaustion fires inside the
+        # btree walk, before any lock is taken — a clean unwind.
+        fleet.degraded_select(fleet.spare_keys[0], 1, breaker)
+        fleet.degraded_select(fleet.spare_keys[1], 1, breaker)
+        if breaker.state != "open":
+            raise FleetOracleError(f"breaker should be open, is {breaker.state}")
+        tl.event("breaker_open", sim.now, failures=breaker.failure_threshold)
+
+        tl.begin_phase("degraded read-only", "degraded", sim.now)
+        backlog: list[FleetOp] = []
+        owners = sorted(fleet.write_keys)
+        for r in range(2):
+            for owner in owners:
+                keys = fleet.write_keys[owner]
+                fleet.next_value += 1
+                op = FleetOp(
+                    fleet._next_index(), "update", _TABLE,
+                    keys[r % len(keys)], owner, "k", fleet.next_value,
+                )
+                fleet.degraded_update(op, breaker, backlog)
+            # Warm reads keep being served without a single fusion RPC.
+            fleet.degraded_select(fleet.write_keys[0][0], 1, breaker)
+            fleet.degraded_select(fleet.write_keys[1][0], 0, breaker)
+
+        fleet.apply_event(
+            FaultEvent(at_op=0, action="restore", rpc="fusion.request_page")
+        )
+        fleet.apply_event(
+            FaultEvent(at_op=0, action="restore", rpc="fusion.on_write_release")
+        )
+        tl.begin_phase("cooldown", "degraded", sim.now)
+        fleet._advance_ns(breaker.cooldown_ns + 1e6)
+
+        tl.begin_phase("probe + drain", "drain", sim.now)
+        if not breaker.allows(sim.now):
+            raise FleetOracleError("breaker did not half-open after cooldown")
+        fleet.degraded_select(fleet.spare_keys[2], 1, breaker, probe=True)
+        if breaker.state != "closed":
+            raise FleetOracleError(
+                f"probe should close the breaker, state={breaker.state}"
+            )
+        tl.event("breaker_closed", sim.now, probes=breaker.probes)
+        for op in backlog:
+            status, _, found = fleet.driver.run_op(op)
+            if status != "ok" or not found:
+                raise FleetOracleError(f"backlog drain failed at op {op.index}")
+            assert op.value is not None
+            fleet.model[op.key] = op.value
+            tl.count("drained")
+        tl.begin_phase("recovered", "up", sim.now, live=2)
+        fleet.verify()
+        return {
+            "breaker_opens": breaker.opens,
+            "breaker_probes": breaker.probes,
+            "shed": len(backlog),
+        }
+
+    result = _run_scenario("degraded-mode", seed, 2, rows, body)
+    if result.timeline.degraded_ns <= 0:
+        raise FleetOracleError("degraded phases recorded no time")
+    if result.timeline.downtime_ns != 0:
+        raise FleetOracleError("degradation must not count as downtime")
+    if result.detail.get("shed", 0) <= 0:
+        raise FleetOracleError("no writes were shed during the outage")
+    return result
+
+
+SCENARIOS = {
+    "rolling-crash": run_rolling_crash,
+    "join-leave": run_join_leave,
+    "failover-storm": run_failover_storm,
+    "degraded-mode": run_degraded_mode,
+}

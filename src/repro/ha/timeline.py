@@ -1,0 +1,190 @@
+"""Availability timeline for fleet HA scenarios.
+
+Every scenario in :mod:`repro.ha.scenarios` narrates itself into an
+:class:`AvailabilityTimeline`: a sequence of phases (healthy, crash,
+failover, degraded, join, drain) stamped in simulated nanoseconds, each
+with its own op counters (ok / failed / retried / shed / drained).
+The timeline answers the questions a paging SRE would ask of a real
+fleet — how long were we down, what did we shed, where did the time go
+— and serializes to canonical JSON so one seeded scenario can be pinned
+byte-for-byte as a regression artifact (``tests/bench`` golden).
+
+>>> tl = AvailabilityTimeline(scenario="demo", seed=7, n_nodes=2)
+>>> tl.begin_phase("healthy", "up", now_ns=0)
+>>> tl.count("ok", 3)
+>>> tl.begin_phase("crash node0", "down", now_ns=1000, node="node0")
+>>> tl.count("failed")
+>>> tl.end(now_ns=2500)
+>>> tl.downtime_ns
+1500
+>>> round(tl.availability, 2)
+0.4
+>>> tl.totals["ok"], tl.totals["failed"]
+(3, 1)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["AvailabilityTimeline", "Phase"]
+
+# Phase kinds that count as unavailable (some shard cannot serve all
+# ops). "degraded" is *partially* available — reads land, writes shed —
+# and is reported separately from hard downtime.
+_DOWN_KINDS = frozenset({"down", "failover"})
+
+_COUNTER_KEYS = ("ok", "failed", "retried", "shed", "drained")
+
+
+@dataclass
+class Phase:
+    """One contiguous stretch of fleet state."""
+
+    name: str
+    kind: str  # up | down | failover | degraded | join | drain
+    start_ns: int
+    end_ns: Optional[int] = None
+    detail: dict[str, Any] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return (self.end_ns or self.start_ns) - self.start_ns
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "detail": dict(sorted(self.detail.items())),
+            "counters": {k: self.counters.get(k, 0) for k in _COUNTER_KEYS},
+        }
+
+
+class AvailabilityTimeline:
+    """Phase-by-phase record of one fleet scenario."""
+
+    def __init__(self, scenario: str, seed: int, n_nodes: int) -> None:
+        self.scenario = scenario
+        self.seed = seed
+        self.n_nodes = n_nodes
+        self.phases: list[Phase] = []
+        self.events: list[dict[str, Any]] = []
+
+    # -- recording -------------------------------------------------------
+
+    @property
+    def current(self) -> Phase:
+        if not self.phases:
+            raise RuntimeError("no phase begun")
+        return self.phases[-1]
+
+    def begin_phase(self, name: str, kind: str, now_ns: float, **detail: Any) -> None:
+        """Close the current phase (if any) and open a new one."""
+        now = int(now_ns)
+        if self.phases and self.phases[-1].end_ns is None:
+            self.phases[-1].end_ns = now
+        self.phases.append(Phase(name=name, kind=kind, start_ns=now, detail=detail))
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Bump an op counter (ok/failed/retried/shed/drained) in the
+        current phase."""
+        counters = self.current.counters
+        counters[key] = counters.get(key, 0) + n
+
+    def event(self, name: str, now_ns: float, **detail: Any) -> None:
+        """A point-in-time marker (crash injected, lock broken, ...)."""
+        self.events.append(
+            {"name": name, "ns": int(now_ns), **dict(sorted(detail.items()))}
+        )
+
+    def annotate(self, **detail: Any) -> None:
+        """Attach detail to the current phase (e.g. failover span ns)."""
+        self.current.detail.update(detail)
+
+    def end(self, now_ns: float) -> None:
+        if self.phases and self.phases[-1].end_ns is None:
+            self.phases[-1].end_ns = int(now_ns)
+
+    # -- aggregation -----------------------------------------------------
+
+    @property
+    def start_ns(self) -> int:
+        return self.phases[0].start_ns if self.phases else 0
+
+    @property
+    def end_ns(self) -> int:
+        return (self.phases[-1].end_ns or self.phases[-1].start_ns) if self.phases else 0
+
+    @property
+    def elapsed_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def downtime_ns(self) -> int:
+        """Simulated ns spent in hard-down phases (down/failover)."""
+        return sum(p.duration_ns for p in self.phases if p.kind in _DOWN_KINDS)
+
+    @property
+    def degraded_ns(self) -> int:
+        return sum(p.duration_ns for p in self.phases if p.kind == "degraded")
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the scenario outside hard-down phases."""
+        elapsed = self.elapsed_ns
+        return 1.0 - self.downtime_ns / elapsed if elapsed else 1.0
+
+    @property
+    def totals(self) -> dict[str, int]:
+        out = {key: 0 for key in _COUNTER_KEYS}
+        for phase in self.phases:
+            for key in _COUNTER_KEYS:
+                out[key] += phase.counters.get(key, 0)
+        return out
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "n_nodes": self.n_nodes,
+            "elapsed_ns": self.elapsed_ns,
+            "downtime_ns": self.downtime_ns,
+            "degraded_ns": self.degraded_ns,
+            "availability": round(self.availability, 9),
+            "totals": self.totals,
+            "phases": [p.to_dict() for p in self.phases],
+            "events": self.events,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, fixed separators) for golden pins."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable phase table for CLI output."""
+        lines = [
+            f"scenario {self.scenario} (seed {self.seed}, {self.n_nodes} nodes): "
+            f"{self.elapsed_ns / 1e6:.3f} ms simulated, "
+            f"{self.downtime_ns / 1e6:.3f} ms down, "
+            f"availability {self.availability * 100:.2f}%"
+        ]
+        for phase in self.phases:
+            counts = ", ".join(
+                f"{k}={phase.counters[k]}"
+                for k in _COUNTER_KEYS
+                if phase.counters.get(k)
+            )
+            lines.append(
+                f"  [{phase.kind:>9}] {phase.start_ns / 1e6:9.3f} ms "
+                f"+{phase.duration_ns / 1e6:8.3f} ms  {phase.name}"
+                + (f"  ({counts})" if counts else "")
+            )
+        return lines

@@ -296,7 +296,7 @@ def test_src_tree_is_clean_and_registry_has_no_dead_entries():
     used = {name for uses in points.values() for _, name in uses}
     # Inverse registry check: a registered point nobody uses is stale.
     assert used == REGISTERED_POINTS
-    assert len(used) == 31
+    assert len(used) == 36
 
 
 def test_main_exit_codes(tmp_path, capsys):

@@ -1,0 +1,76 @@
+"""The availability timeline of a fixed HA scenario is byte-stable.
+
+The rolling-crash scenario (fixed seed, 3 nodes, schedule-driven
+crashes) is run end to end and its availability timeline serialized as
+canonical JSON. The output is pinned under
+``benchmarks/results/ha_timeline_golden.json``: re-running the scenario
+must reproduce the pinned file **byte for byte**. This locks the whole
+fleet HA stack at once — op routing, the fault schedule, failover
+choreography (attempt counts, pages rebuilt and retired), simulated
+phase timings, and the canonical JSON encoding. A latency-model change,
+an extra RPC in the failover path, or a drifting op counter all show up
+as a one-line diff here.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python -m tests.bench.test_ha_timeline_golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.db.txn import Transaction
+from repro.ha.scenarios import run_rolling_crash
+
+PINNED = (
+    Path(__file__).parent.parent.parent
+    / "benchmarks"
+    / "results"
+    / "ha_timeline_golden.json"
+)
+
+
+def _golden_timeline_json() -> str:
+    # Transaction ids are a process-global counter; the scenario itself
+    # never leaks them into the timeline, but pin them anyway so the
+    # underlying op stream is bit-identical regardless of test order.
+    saved = Transaction._next_id
+    Transaction._next_id = 1
+    try:
+        return run_rolling_crash().timeline.to_json()
+    finally:
+        Transaction._next_id = max(saved, Transaction._next_id)
+
+
+def generate(path: Path = PINNED) -> Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(_golden_timeline_json())
+    return path
+
+
+@pytest.mark.skipif(not PINNED.exists(), reason="pinned HA timeline not generated")
+def test_ha_timeline_byte_identical_to_pinned():
+    assert _golden_timeline_json().encode() == PINNED.read_bytes()
+
+
+@pytest.mark.skipif(not PINNED.exists(), reason="pinned HA timeline not generated")
+def test_pinned_timeline_shape():
+    doc = json.loads(PINNED.read_text())
+    assert doc["scenario"] == "rolling-crash"
+    assert doc["n_nodes"] == 3
+    assert doc["availability"] > 0.9
+    assert doc["downtime_ns"] > 0
+    kinds = [phase["kind"] for phase in doc["phases"]]
+    assert kinds.count("down") == 2
+    assert kinds.count("failover") == 2
+    assert kinds[-1] == "up"
+    # Every phase is contiguous with its successor.
+    for prev, cur in zip(doc["phases"], doc["phases"][1:]):
+        assert prev["end_ns"] == cur["start_ns"]
+    assert doc["totals"]["failed"] == 2
+
+
+if __name__ == "__main__":
+    print(f"pinned HA timeline -> {generate()}")

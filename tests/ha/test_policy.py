@@ -1,0 +1,126 @@
+"""Unit tests for the HA retry/backoff policy and circuit breaker."""
+
+import pytest
+
+from repro.core.fusion import FusionUnavailableError, RpcExhaustedError
+from repro.ha.policy import BackoffPolicy, CircuitBreaker
+from repro.sim.latency import LatencyConfig
+
+
+class TestBackoffPolicy:
+    def test_backoff_doubles_then_caps(self):
+        policy = BackoffPolicy(
+            base_backoff_ns=1000.0, cap_backoff_ns=4000.0, max_attempts=10
+        )
+        assert [policy.backoff_ns(k) for k in (1, 2, 3, 4, 5)] == [
+            1000.0,
+            2000.0,
+            4000.0,
+            4000.0,
+            4000.0,
+        ]
+
+    def test_next_wait_is_timeout_plus_backoff(self):
+        policy = BackoffPolicy(
+            timeout_ns=100.0, base_backoff_ns=10.0, max_attempts=3
+        )
+        assert policy.next_wait_ns(1, 0.0) == 110.0
+        assert policy.next_wait_ns(2, 0.0) == 120.0
+
+    def test_attempt_budget_exhausts(self):
+        policy = BackoffPolicy(max_attempts=2)
+        assert policy.next_wait_ns(1, 0.0) is not None
+        assert policy.next_wait_ns(2, 0.0) is None
+
+    def test_total_time_budget_exhausts(self):
+        policy = BackoffPolicy(
+            timeout_ns=100.0,
+            base_backoff_ns=10.0,
+            max_attempts=100,
+            total_budget_ns=115.0,
+        )
+        # First wait (110) fits; charging the second (120) would not.
+        assert policy.next_wait_ns(1, 0.0) == 110.0
+        assert policy.next_wait_ns(2, 110.0) is None
+
+    def test_from_latency_matches_stock_retry_arithmetic(self):
+        config = LatencyConfig()
+        policy = BackoffPolicy.from_latency(config)
+        assert policy.timeout_ns == config.rpc_timeout_ns
+        assert policy.base_backoff_ns == config.rpc_retry_backoff_ns
+        assert policy.max_attempts == config.rpc_max_retries + 1
+
+    def test_at_least_one_attempt_required(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_ns=1000.0)
+        breaker.on_failure(now_ns=0)
+        breaker.on_failure(now_ns=1)
+        assert breaker.state == "closed"
+        breaker.on_failure(now_ns=2)
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.on_failure(now_ns=0)
+        breaker.on_success()
+        breaker.on_failure(now_ns=1)
+        assert breaker.state == "closed"
+
+    def test_open_sheds_until_cooldown_then_half_opens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ns=1000.0)
+        breaker.on_failure(now_ns=0)
+        assert not breaker.allows(now_ns=999)
+        assert breaker.allows(now_ns=1000)
+        assert breaker.state == "half_open"
+        assert breaker.probes == 1
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ns=0.0)
+        breaker.on_failure(now_ns=0)
+        assert breaker.allows(now_ns=1)
+        # The probe is in flight: everything else stays shed.
+        assert not breaker.allows(now_ns=2)
+        assert breaker.probes == 1
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ns=0.0)
+        breaker.on_failure(now_ns=0)
+        assert breaker.allows(now_ns=1)
+        breaker.on_success()
+        assert breaker.state == "closed"
+        assert breaker.allows(now_ns=2)
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=5, cooldown_ns=1000.0)
+        for _ in range(5):
+            breaker.on_failure(now_ns=0)
+        assert breaker.allows(now_ns=1000)
+        breaker.on_failure(now_ns=1000)  # probe failed: reopen immediately
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert not breaker.allows(now_ns=1999)
+        assert breaker.allows(now_ns=2000)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestRpcExhaustedError:
+    def test_is_a_typed_fusion_unavailable(self):
+        exc = RpcExhaustedError("request_page", 7, attempts=4, spent_ns=6.5e6)
+        assert isinstance(exc, FusionUnavailableError)
+        assert (exc.op, exc.page_id, exc.attempts, exc.spent_ns) == (
+            "request_page",
+            7,
+            4,
+            6.5e6,
+        )
+        assert "request_page(7)" in str(exc)
+        assert "4 consecutive" in str(exc)

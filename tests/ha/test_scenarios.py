@@ -1,0 +1,149 @@
+"""Fleet HA scenarios: rolling crashes, join/leave, failover storms,
+graceful degradation.
+
+Each scenario run already enforces its own acceptance bar internally —
+MemSan, trace invariants, span crash-abandon semantics, and the exact
+fleet-wide committed-state oracle all run inside ``_run_scenario`` and
+raise on violation. The tests here pin the *shape* of the results: how
+many failovers, what got shed and drained, that the warm CXL attach beat
+the recovery baselines, and that every scenario is a deterministic
+function of its seed.
+"""
+
+import json
+
+import pytest
+
+from repro.ha.scenarios import (
+    SCENARIOS,
+    run_degraded_mode,
+    run_failover_storm,
+    run_join_leave,
+    run_rolling_crash,
+)
+
+
+@pytest.fixture(scope="module")
+def rolling():
+    return run_rolling_crash()
+
+
+@pytest.fixture(scope="module")
+def join_leave():
+    return run_join_leave()
+
+
+@pytest.fixture(scope="module")
+def storm():
+    return run_failover_storm()
+
+
+@pytest.fixture(scope="module")
+def degraded():
+    return run_degraded_mode()
+
+
+class TestRollingCrash:
+    def test_every_victim_failed_over(self, rolling):
+        assert rolling.failovers == 2
+        assert rolling.detail["live_nodes"] == 1
+
+    def test_monitoring_stack_was_clean(self, rolling):
+        assert rolling.memsan_reports == 0
+        assert rolling.oracle_checks > 0
+        assert rolling.detail["trace_events"] > 0
+
+    def test_load_kept_flowing_around_the_crashes(self, rolling):
+        totals = rolling.timeline.totals
+        # One designated op dies per crash; everything else lands.
+        assert totals["failed"] == 2
+        assert totals["ok"] > 2 * totals["failed"]
+
+    def test_downtime_is_bounded_by_the_failovers(self, rolling):
+        tl = rolling.timeline
+        assert 0 < tl.downtime_ns < tl.elapsed_ns
+        assert tl.availability > 0.9
+        kinds = [p.kind for p in tl.phases]
+        assert kinds.count("failover") == 2
+        # Service comes back up after every failover.
+        assert kinds[-1] == "up"
+
+
+class TestJoinLeave:
+    def test_join_is_a_warm_attach(self, join_leave):
+        # Zero pages loaded from storage while the joiner served its
+        # inherited partition: the CXL buffer pool survived the leave.
+        assert join_leave.detail["warm_reads"] > 0
+        assert join_leave.timeline.downtime_ns == 0
+
+    def test_cxl_attach_beats_the_recovery_baselines(self, join_leave):
+        baselines = join_leave.detail["baseline_recovery_ms"]
+        assert baselines["polarrecv"] < baselines["rdma"] < baselines["vanilla"]
+        assert join_leave.detail["attach_ms"] < baselines["rdma"]
+        assert join_leave.detail["polarrecv_warm_fraction"] == 1.0
+
+    def test_monitoring_stack_was_clean(self, join_leave):
+        assert join_leave.memsan_reports == 0
+        assert join_leave.failovers == 0
+        assert join_leave.oracle_checks > 0
+
+
+class TestFailoverStorm:
+    def test_storm_converges_on_the_final_attempt(self, storm):
+        # Three injected coordinator crashes + one converging attempt.
+        assert storm.detail["attempts"] == 4
+        assert storm.failovers == 1
+
+    def test_failover_rebuilt_and_retired_the_log(self, storm):
+        assert storm.detail["pages_rebuilt"] >= 1
+        assert storm.detail["pages_retired"] >= 1
+        assert storm.memsan_reports == 0
+
+    def test_storm_length_follows_the_armed_points(self):
+        result = run_failover_storm(storm_points=("fusion.failover.rebuilt",))
+        assert result.detail["attempts"] == 2
+
+
+class TestDegradedMode:
+    def test_degradation_is_not_downtime(self, degraded):
+        tl = degraded.timeline
+        assert tl.downtime_ns == 0
+        assert tl.degraded_ns > 0
+        assert tl.availability == 1.0
+
+    def test_writes_shed_then_drained_in_order(self, degraded):
+        totals = degraded.timeline.totals
+        assert degraded.detail["shed"] == totals["shed"] > 0
+        assert totals["drained"] == totals["shed"]
+
+    def test_breaker_opened_once_and_probed_once(self, degraded):
+        assert degraded.detail["breaker_opens"] == 1
+        assert degraded.detail["breaker_probes"] == 1
+        # Tripping the breaker cost two exhausted retry budgets.
+        assert degraded.timeline.totals["failed"] == 2
+        assert degraded.timeline.totals["retried"] > 0
+
+    def test_monitoring_stack_was_clean(self, degraded):
+        assert degraded.memsan_reports == 0
+        assert degraded.oracle_checks > 0
+
+
+class TestDeterminism:
+    def test_registry_covers_all_four_scenarios(self):
+        assert sorted(SCENARIOS) == [
+            "degraded-mode",
+            "failover-storm",
+            "join-leave",
+            "rolling-crash",
+        ]
+
+    def test_same_seed_same_timeline(self, rolling):
+        again = run_rolling_crash()
+        assert again.timeline.to_json() == rolling.timeline.to_json()
+
+    def test_different_seed_still_passes_and_differs(self, rolling):
+        other = run_rolling_crash(seed=23)
+        assert other.memsan_reports == 0
+        first = json.loads(rolling.timeline.to_json())
+        second = json.loads(other.timeline.to_json())
+        assert second["seed"] != first["seed"]

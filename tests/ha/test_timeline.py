@@ -1,0 +1,91 @@
+"""Unit tests for the availability timeline."""
+
+import json
+
+import pytest
+
+from repro.ha.timeline import AvailabilityTimeline
+
+
+def _sample() -> AvailabilityTimeline:
+    tl = AvailabilityTimeline(scenario="demo", seed=7, n_nodes=2)
+    tl.begin_phase("healthy", "up", now_ns=0, live=2)
+    tl.count("ok", 5)
+    tl.begin_phase("crash node0", "down", now_ns=1000, node="node0")
+    tl.count("failed")
+    tl.begin_phase("failover node0", "failover", now_ns=1200)
+    tl.begin_phase("degraded", "degraded", now_ns=1500)
+    tl.count("shed", 3)
+    tl.begin_phase("drain", "drain", now_ns=2000)
+    tl.count("drained", 3)
+    tl.end(now_ns=2500)
+    return tl
+
+
+class TestPhases:
+    def test_begin_phase_closes_the_previous_one(self):
+        tl = _sample()
+        assert [(p.start_ns, p.end_ns) for p in tl.phases] == [
+            (0, 1000),
+            (1000, 1200),
+            (1200, 1500),
+            (1500, 2000),
+            (2000, 2500),
+        ]
+
+    def test_current_requires_a_phase(self):
+        tl = AvailabilityTimeline(scenario="x", seed=1, n_nodes=1)
+        with pytest.raises(RuntimeError):
+            tl.current
+
+    def test_annotate_and_event(self):
+        tl = _sample()
+        tl.annotate(note="hi")
+        assert tl.phases[-1].detail["note"] == "hi"
+        tl.event("lock_broken", now_ns=2100, page=4)
+        assert tl.events == [{"name": "lock_broken", "ns": 2100, "page": 4}]
+
+
+class TestAggregates:
+    def test_downtime_counts_down_and_failover_only(self):
+        tl = _sample()
+        assert tl.downtime_ns == (1200 - 1000) + (1500 - 1200)
+        assert tl.degraded_ns == 500
+        assert tl.elapsed_ns == 2500
+
+    def test_availability(self):
+        tl = _sample()
+        assert tl.availability == pytest.approx(1.0 - 500 / 2500)
+
+    def test_empty_timeline_is_fully_available(self):
+        tl = AvailabilityTimeline(scenario="x", seed=1, n_nodes=1)
+        assert tl.availability == 1.0
+        assert tl.elapsed_ns == 0
+
+    def test_totals_sum_across_phases(self):
+        totals = _sample().totals
+        assert totals == {
+            "ok": 5,
+            "failed": 1,
+            "retried": 0,
+            "shed": 3,
+            "drained": 3,
+        }
+
+
+class TestSerialization:
+    def test_json_is_canonical_and_newline_terminated(self):
+        text = _sample().to_json()
+        assert text.endswith("\n")
+        payload = json.loads(text)
+        assert payload["scenario"] == "demo"
+        assert payload["downtime_ns"] == 500
+        assert len(payload["phases"]) == 5
+        # Canonical: re-dumping the parsed payload reproduces the bytes.
+        assert json.dumps(payload, sort_keys=True, indent=2) + "\n" == text
+
+    def test_summary_lines_cover_every_phase(self):
+        lines = _sample().summary_lines()
+        assert len(lines) == 1 + 5
+        assert "availability 80.00%" in lines[0]
+        assert any("shed=3" in line for line in lines)

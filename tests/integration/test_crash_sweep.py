@@ -14,6 +14,7 @@ from repro.core.recovery import PolarRecv
 from repro.db.engine import Engine
 from repro.faults.sweep import (
     _golden_run,
+    sweep_failover_storm_points,
     sweep_recovery_points,
     sweep_sharing_points,
     sweep_workload_points,
@@ -40,6 +41,11 @@ def recovery_report():
 @pytest.fixture(scope="module")
 def sharing_report():
     return sweep_sharing_points(seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def storm_report():
+    return sweep_failover_storm_points(seed=SEED)
 
 
 class TestSingleNodeSweep:
@@ -92,6 +98,28 @@ class TestSharingFailoverSweep:
             "cache.clflush.line",
             "fusion.release.dirty",
             "fusion.request.loaded",
+        } <= points
+
+
+class TestFailoverStormSweep:
+    """Crash the failover coordinator *inside* failover, then fail over
+    the failed failover — the storm half of the fleet HA model. Every
+    coordinate must converge on the second attempt with the survivor
+    reading exactly the committed state, under MemSan.
+    """
+
+    def test_every_storm_coordinate_converges(self, storm_report):
+        storm_report.raise_for_failures()
+        assert storm_report.outcomes, "storm sweep ran no coordinates"
+
+    def test_covers_failover_and_retirement(self, storm_report):
+        points = set(storm_report.distinct_points)
+        assert {
+            "fusion.failover.rebuilt",
+            "fusion.failover.released",
+            "fusion.failover.done",
+            "pagestore.write_page",  # torn hardening write mid-failover
+            "recovery.retire.page",  # log retirement is re-entrant too
         } <= points
 
 
@@ -166,12 +194,13 @@ class TestRecoveryMechanismCounters:
 
 class TestSweepAcceptance:
     def test_at_least_25_distinct_crash_points(
-        self, workload_report, recovery_report, sharing_report
+        self, workload_report, recovery_report, sharing_report, storm_report
     ):
         union = (
             set(workload_report.distinct_points)
             | set(recovery_report.distinct_points)
             | set(sharing_report.distinct_points)
+            | set(storm_report.distinct_points)
         )
         assert len(union) >= 25, sorted(union)
 
