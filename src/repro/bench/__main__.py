@@ -82,6 +82,17 @@ def main(argv: list[str]) -> int:
     # the warm-attach vs recovery comparison) alongside the selection.
     with_ha = "--ha" in argv
     argv = [arg for arg in argv if arg != "--ha"]
+    # --jobs N: shard the selected experiment files across N concurrent
+    # pytest processes (0 = one per core). Each experiment file is
+    # self-contained, so file-level sharding preserves every number;
+    # outputs are buffered and printed per shard to stay readable.
+    jobs = 1
+    if "--jobs" in argv:
+        index = argv.index("--jobs")
+        jobs = int(argv[index + 1])
+        del argv[index : index + 2]
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
     if not argv and with_ha:
         argv = ["ha"]
     if not argv and with_counters:
@@ -95,8 +106,8 @@ def main(argv: list[str]) -> int:
         for name, filename in EXPERIMENTS.items():
             print(f"  {name:10s} benchmarks/{filename}")
         print(f"  {'perf':10s} wall-clock perf harness -> BENCH_perf.json")
-        print("\nusage: python -m repro.bench [--counters] [--spans] [--memsan] [--ha] <experiment>... | all")
-        print("       python -m repro.bench perf [--quick] [--min-speedup X] [--out PATH]")
+        print("\nusage: python -m repro.bench [--counters] [--spans] [--memsan] [--ha] [--jobs N] <experiment>... | all")
+        print("       python -m repro.bench perf [--quick] [--min-speedup X] [--jobs N] [--out PATH]")
         return 0
     names = list(EXPERIMENTS) if argv == ["all"] else argv
     if with_counters and "counters" not in names:
@@ -112,21 +123,49 @@ def main(argv: list[str]) -> int:
         raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
     bench_dir = _benchmarks_dir()
     files = [str(bench_dir / EXPERIMENTS[name]) for name in names]
-    command = [
-        sys.executable,
-        "-m",
-        "pytest",
-        *files,
-        "--benchmark-only",
-        "-q",
-        "-s",
-    ]
     env = dict(os.environ)
     if with_spans or "spans" in names:
         env["REPRO_BENCH_SPANS"] = "1"
     if with_memsan or "memsan" in names:
         env["REPRO_BENCH_MEMSAN"] = "1"
-    return subprocess.call(command, env=env)
+
+    def pytest_command(selected: list[str]) -> list[str]:
+        return [
+            sys.executable,
+            "-m",
+            "pytest",
+            *selected,
+            "--benchmark-only",
+            "-q",
+            "-s",
+        ]
+
+    if jobs > 1 and len(files) > 1:
+        import tempfile
+
+        shards = [files[i::jobs] for i in range(jobs) if files[i::jobs]]
+        procs = []
+        for shard in shards:
+            handle = tempfile.TemporaryFile("w+")
+            procs.append(
+                (
+                    subprocess.Popen(
+                        pytest_command(shard),
+                        env=env,
+                        stdout=handle,
+                        stderr=subprocess.STDOUT,
+                    ),
+                    handle,
+                )
+            )
+        code = 0
+        for proc, handle in procs:
+            code = max(code, proc.wait())
+            handle.seek(0)
+            sys.stdout.write(handle.read())
+            handle.close()
+        return code
+    return subprocess.call(pytest_command(files), env=env)
 
 
 if __name__ == "__main__":

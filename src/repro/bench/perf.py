@@ -299,6 +299,68 @@ def bench_event_loop(n_events: int, optimized: bool = True) -> float:
     return n_events / elapsed
 
 
+def bench_event_burst(
+    n_events: int, optimized: bool = True, batch: int = 32
+) -> float:
+    """Same-tick burst throughput of the kernel; returns events/second.
+
+    Schedules ``batch`` timeouts per tick and resumes on the last one —
+    the settle layer's shape, where one batched pipe transfer completes
+    many waiters on the same tick. This is the bench the bucketed
+    calendar queue exists for: one heap operation retires the whole
+    tick, so the ``event_burst`` speedup gate holds the batching win
+    against the frozen plain-heap reference.
+    """
+    sim = Simulator() if optimized else _RefSimulator()
+    n_batches = n_events // batch
+
+    def burster():
+        timeout = sim.timeout
+        for _ in range(n_batches):
+            for _ in range(batch - 1):
+                timeout(10)
+            yield timeout(10)
+
+    start = time.perf_counter()
+    sim.run_process(burster())
+    elapsed = time.perf_counter() - start
+    return (n_batches * batch) / elapsed
+
+
+def bench_sweep_parallel(limit: int, jobs: int) -> dict:
+    """Wall-clock of a crash-sweep slice, serial vs ``--jobs N``.
+
+    Runs the same ``sweep_workload_points`` coordinate slice twice and
+    reports the ratio plus whether the merged reports are byte-identical
+    (they must always be; the speedup gate itself only applies on
+    machines with enough cores to show one — a 1-core runner records the
+    ratio but skips the gate, since a spawn pool cannot beat serial
+    there).
+    """
+    import os
+
+    from ..faults.sweep import report_to_json, sweep_workload_points
+
+    cpu_count = os.cpu_count() or 1
+    if jobs <= 0:
+        jobs = cpu_count
+    start = time.perf_counter()
+    serial = sweep_workload_points(jobs=1, limit=limit)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = sweep_workload_points(jobs=jobs, limit=limit)
+    parallel_s = time.perf_counter() - start
+    return {
+        "limit": limit,
+        "jobs": jobs,
+        "cpu_count": cpu_count,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        "merged_identical": report_to_json(serial) == report_to_json(parallel),
+    }
+
+
 def bench_metered_access(n_accesses: int, optimized: bool = True) -> float:
     """32 B metered reads/second through the line-cache cost model.
 
@@ -435,6 +497,58 @@ def bench_fig7_slice() -> dict:
     }
 
 
+def check_kernel_order(n_events: int = 5_000) -> None:
+    """Assert the bucketed kernel fires in the heap reference's order.
+
+    Drives an identical schedule — LCG-spread delays with heavy
+    same-tick collisions, plus cascades that schedule zero-delay and
+    short-delay follow-ups from inside callbacks — through the optimized
+    :class:`Simulator` and the frozen ``_RefSimulator``, logging every
+    callback as ``(tag, now, value)``. The two logs (and final clocks)
+    must match exactly: the calendar queue is an optimization, not a
+    semantic change.
+    """
+
+    def drive(sim, new_event, log):
+        def cascade(event):
+            log.append(("fire", sim.now, event.value))
+            if event.value % 7 == 0:
+                follow = new_event()
+                follow.callbacks.append(
+                    lambda e: log.append(("follow", sim.now, e.value))
+                )
+                delay = 0 if event.value % 14 else 5
+                follow.succeed(event.value + 1_000_000, delay=delay)
+
+        lcg = 99991
+        for i in range(n_events):
+            lcg = (lcg * 1103515245 + 12345) & 0x7FFFFFFF
+            event = new_event()
+            event.callbacks.append(cascade)
+            event.succeed(i, delay=lcg % 37)
+        sim.run()
+        return sim.now
+
+    opt_sim = Simulator()
+    opt_log: list = []
+    opt_now = drive(opt_sim, opt_sim.event, opt_log)
+    ref_sim = _RefSimulator()
+    ref_log: list = []
+    ref_now = drive(ref_sim, lambda: _RefEvent(ref_sim), ref_log)
+    if opt_now != ref_now:
+        raise AssertionError(
+            f"kernel clocks diverged: {opt_now} != {ref_now}"
+        )
+    if opt_log != ref_log:
+        first = next(
+            i for i, (a, b) in enumerate(zip(opt_log, ref_log)) if a != b
+        )
+        raise AssertionError(
+            "kernel firing order diverged from the heap reference at "
+            f"event {first}: {opt_log[first]} != {ref_log[first]}"
+        )
+
+
 def check_equivalence(n_accesses: int = 20_000) -> None:
     """Assert optimized and reference metering charge identical state."""
     region_bytes = 1 << 20
@@ -469,7 +583,7 @@ def check_equivalence(n_accesses: int = 20_000) -> None:
 # ---------------------------------------------------------------------------
 
 
-def run_perf(quick: bool = False) -> dict:
+def run_perf(quick: bool = False, jobs: int = 0) -> dict:
     """Run every perf benchmark; returns the BENCH_perf.json payload."""
     scale = 0.2 if quick else 1.0
     n_events = int(500_000 * scale)
@@ -477,9 +591,12 @@ def run_perf(quick: bool = False) -> dict:
     n_pages = int(100_000 * scale)
 
     check_equivalence()
+    check_kernel_order()
 
     ev_ref = bench_event_loop(n_events, optimized=False)
     ev_opt = bench_event_loop(n_events, optimized=True)
+    eb_ref = bench_event_burst(n_events, optimized=False)
+    eb_opt = bench_event_burst(n_events, optimized=True)
     ma_ref = bench_metered_access(n_accesses, optimized=False)
     ma_opt = bench_metered_access(n_accesses, optimized=True)
     pb_ref = bench_page_burst(n_pages, optimized=False)
@@ -487,6 +604,7 @@ def run_perf(quick: bool = False) -> dict:
     tr_off, tr_on = bench_tracer_overhead(n_accesses)
     sp_off, sp_on = bench_spans_overhead(n_accesses)
     msn_off, msn_on = bench_memsan_overhead(n_accesses)
+    sweep_parallel = bench_sweep_parallel(limit=3 if quick else 8, jobs=jobs)
     fig7 = bench_fig7_slice()
 
     return {
@@ -496,6 +614,11 @@ def run_perf(quick: bool = False) -> dict:
             "events_per_sec": round(ev_opt),
             "reference_per_sec": round(ev_ref),
             "speedup": round(ev_opt / ev_ref, 3),
+        },
+        "event_burst": {
+            "events_per_sec": round(eb_opt),
+            "reference_per_sec": round(eb_ref),
+            "speedup": round(eb_opt / eb_ref, 3),
         },
         "metered_access": {
             "accesses_per_sec": round(ma_opt),
@@ -524,6 +647,7 @@ def run_perf(quick: bool = False) -> dict:
             "overhead_pct": round((msn_off / msn_on - 1.0) * 100, 1),
             "disabled_speedup": round(msn_off / ma_ref, 3),
         },
+        "sweep_parallel": sweep_parallel,
         "fig7_slice": fig7,
         "notes": (
             "reference_per_sec re-measures the frozen pre-optimization "
@@ -540,6 +664,15 @@ def _repo_root() -> pathlib.Path:
     return pathlib.Path.cwd()
 
 
+# The batched calendar queue must hold at least this much ahead of the
+# frozen plain-heap reference on the same-tick burst bench.
+BURST_MIN_SPEEDUP = 2.0
+# The parallel sweep must hold this much ahead of serial — but only on
+# machines with enough cores to physically show it.
+PARALLEL_MIN_SPEEDUP = 2.0
+PARALLEL_GATE_MIN_CORES = 4
+
+
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     argv = [a for a in argv if a != "--quick"]
@@ -547,6 +680,11 @@ def main(argv: list[str]) -> int:
     if "--min-speedup" in argv:
         index = argv.index("--min-speedup")
         min_speedup = float(argv[index + 1])
+        del argv[index : index + 2]
+    jobs = 0
+    if "--jobs" in argv:
+        index = argv.index("--jobs")
+        jobs = int(argv[index + 1])
         del argv[index : index + 2]
     out_path = _repo_root() / "BENCH_perf.json"
     if "--out" in argv:
@@ -556,11 +694,11 @@ def main(argv: list[str]) -> int:
     if argv:
         raise SystemExit(f"unknown perf option(s): {' '.join(argv)}")
 
-    report = run_perf(quick=quick)
+    report = run_perf(quick=quick, jobs=jobs)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"perf report -> {out_path}")
-    for key in ("event_loop", "metered_access", "page_burst"):
+    for key in ("event_loop", "event_burst", "metered_access", "page_burst"):
         entry = report[key]
         rate = next(v for k, v in entry.items() if k.endswith("_per_sec"))
         print(f"  {key:16s} {rate:>12,}/s   {entry['speedup']:.2f}x vs pre-PR reference")
@@ -581,12 +719,61 @@ def main(argv: list[str]) -> int:
         f"on {msn['memsan_on_per_sec']:,}/s  (+{msn['overhead_pct']}%)  "
         f"disabled {msn['disabled_speedup']:.2f}x vs pre-PR reference"
     )
+    sw = report["sweep_parallel"]
+    print(
+        f"  {'sweep parallel':16s} serial {sw['serial_s']}s  "
+        f"jobs={sw['jobs']} {sw['parallel_s']}s  ({sw['speedup']:.2f}x on "
+        f"{sw['cpu_count']} core(s), merged_identical={sw['merged_identical']})"
+    )
     fig7 = report["fig7_slice"]
     print(
         f"  {'fig7 slice':16s} {fig7['wall_s']}s wall, qps={fig7['qps']}, "
         f"{fig7['events_scheduled']} events "
         f"({fig7['events_per_wall_second']:,}/wall-s)"
     )
+
+    burst = report["event_burst"]["speedup"]
+    if burst < BURST_MIN_SPEEDUP:
+        print(
+            f"FAIL: event-burst speedup {burst:.2f}x is below the "
+            f"{BURST_MIN_SPEEDUP:.2f}x gate — the batched calendar queue "
+            f"lost its edge over the plain-heap reference (see "
+            f"PERFORMANCE.md)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: event-burst speedup {burst:.2f}x >= "
+        f"{BURST_MIN_SPEEDUP:.2f}x gate"
+    )
+    if not sw["merged_identical"]:
+        print(
+            "FAIL: parallel sweep merged report differs from serial — "
+            "determinism broke (see tests/parallel/test_differential.py)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: parallel sweep merge is byte-identical to serial")
+    if sw["cpu_count"] >= PARALLEL_GATE_MIN_CORES and sw["jobs"] >= PARALLEL_GATE_MIN_CORES:
+        if sw["speedup"] < PARALLEL_MIN_SPEEDUP:
+            print(
+                f"FAIL: parallel sweep speedup {sw['speedup']:.2f}x with "
+                f"jobs={sw['jobs']} on {sw['cpu_count']} cores is below the "
+                f"{PARALLEL_MIN_SPEEDUP:.2f}x gate (see PERFORMANCE.md)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: parallel sweep speedup {sw['speedup']:.2f}x >= "
+            f"{PARALLEL_MIN_SPEEDUP:.2f}x gate"
+        )
+    else:
+        print(
+            f"SKIP: parallel-sweep speedup gate needs >= "
+            f"{PARALLEL_GATE_MIN_CORES} cores and jobs (have "
+            f"{sw['cpu_count']} core(s), jobs={sw['jobs']}); ratio "
+            f"{sw['speedup']:.2f}x recorded"
+        )
 
     speedup = report["metered_access"]["speedup"]
     if speedup < min_speedup:

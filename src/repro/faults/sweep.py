@@ -45,6 +45,7 @@ failing coordinate, or from future CI jobs sweeping larger workloads.
 
 from __future__ import annotations
 
+import json
 import random
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -67,6 +68,7 @@ from ..obs.spans import active as spans_active
 from ..obs.trace import Tracer
 from ..obs.trace import active as obs_active
 from ..sim.core import Simulator
+from ..parallel.runner import UnitResult, WorkUnit, run_units
 from ..storage.pagestore import PageStore
 from ..storage.wal import RedoLog
 from .injector import FaultInjector, InjectedCrash
@@ -75,6 +77,7 @@ __all__ = [
     "CrashSweepError",
     "SweepOutcome",
     "SweepReport",
+    "report_to_json",
     "sweep_workload_points",
     "sweep_recovery_points",
     "sweep_sharing_points",
@@ -131,6 +134,94 @@ class SweepReport:
             raise CrashSweepError(
                 f"{self.scenario} sweep: {len(bad)} failing coordinate(s): {lines}"
             )
+
+
+def report_to_json(report: SweepReport) -> str:
+    """Canonical JSON for a sweep report (sorted keys, fixed layout).
+
+    The differential suite compares the serial and ``jobs=N`` bytes of
+    this serialization: a parallel sweep must merge into *exactly* the
+    serial report, not merely an equivalent one.
+    """
+    payload = {
+        "scenario": report.scenario,
+        "distinct_points": list(report.distinct_points),
+        "outcomes": [
+            {
+                "point": outcome.point,
+                "hit": outcome.hit,
+                "crashed": outcome.crashed,
+                "recovered_ok": outcome.recovered_ok,
+                "detail": outcome.detail,
+            }
+            for outcome in report.outcomes
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, indent=1) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Work-unit plumbing: every (point, hit) coordinate is one spawn-safe
+# unit (fresh scenario stack, fresh injector/tracer/MemSan globals in a
+# fresh process under ``jobs > 1``), merged back in enumeration order so
+# a parallel sweep's report is byte-identical to the serial one.
+# ---------------------------------------------------------------------------
+
+
+def _sweep_repro_cmd(scenario: str, seed: int, point: str, hit: int) -> str:
+    """The one-line serial command that re-runs exactly one coordinate."""
+    return (
+        "PYTHONPATH=src python -m repro.parallel sweep "
+        f"--scenario {scenario} --seed {seed} --point {point} --hit {hit}"
+    )
+
+
+def _coordinate_units(
+    scenario: str,
+    task: str,
+    seed: int,
+    coordinates: list[tuple[str, int]],
+    extra: tuple = (),
+) -> list[WorkUnit]:
+    return [
+        WorkUnit(
+            task=task,
+            payload=(seed, point, hit) + extra,
+            label=f"{scenario} {point}#{hit} (seed {seed})",
+            repro=_sweep_repro_cmd(scenario, seed, point, hit),
+        )
+        for point, hit in coordinates
+    ]
+
+
+def _merged_outcome(
+    result: UnitResult, point: str, hit: int
+) -> SweepOutcome:
+    """A unit's verdict, or a synthetic failure naming its serial repro."""
+    if result.ok:
+        outcome = result.value
+        assert isinstance(outcome, SweepOutcome)
+        return outcome
+    return SweepOutcome(
+        point,
+        hit,
+        False,
+        False,
+        f"unit error {result.error_type}: {result.error}"
+        + (f" [repro: {result.repro}]" if result.repro else ""),
+    )
+
+
+def _run_coordinates(
+    report: SweepReport,
+    units: list[WorkUnit],
+    coordinates: list[tuple[str, int]],
+    jobs: int,
+) -> SweepReport:
+    results = run_units(units, jobs=jobs)
+    for result, (point, hit) in zip(results, coordinates):
+        report.outcomes.append(_merged_outcome(result, point, hit))
+    return report
 
 
 def _select_hits(
@@ -394,16 +485,42 @@ def _crash_and_recover(
     )
 
 
-def sweep_workload_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepReport:
+def _workload_unit(
+    seed: int, point: str, hit: int, snapshots: dict[int, dict]
+) -> SweepOutcome:
+    """One spawn-safe unit: crash at (point, hit), recover, check oracle."""
+    return _crash_and_recover(seed, point, hit, _GoldenRun([], snapshots, {}))
+
+
+def sweep_workload_points(
+    seed: int = 7,
+    max_hits_per_point: int = 2,
+    jobs: int = 1,
+    limit: int | None = None,
+    only: tuple[str, int] | None = None,
+) -> SweepReport:
     """Crash the single-node engine at every reached point; verify
-    PolarRecv restores exactly the committed state each time."""
+    PolarRecv restores exactly the committed state each time.
+
+    ``jobs > 1`` runs the coordinates on a spawn pool; ``limit`` caps
+    the coordinate count (differential tests and smoke jobs sweep a
+    prefix of the full enumeration); ``only=(point, hit)`` replays one
+    coordinate — the CLI's serial-repro mode."""
     golden = _golden_run(seed)
     report = SweepReport(
         "single-node", distinct_points=sorted({name for name, _ in golden.trace})
     )
-    for point, hit in _select_hits(golden.trace, max_hits_per_point):
-        report.outcomes.append(_crash_and_recover(seed, point, hit, golden))
-    return report
+    coordinates = _select_hits(golden.trace, max_hits_per_point)[:limit]
+    if only is not None:
+        coordinates = [only]
+    units = _coordinate_units(
+        "workload",
+        "repro.faults.sweep:_workload_unit",
+        seed,
+        coordinates,
+        extra=(golden.snapshots,),
+    )
+    return _run_coordinates(report, units, coordinates, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -437,7 +554,41 @@ def _crashed_scenario(seed: int, first_hit: int) -> _Scenario:
     return scenario
 
 
-def sweep_recovery_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepReport:
+def _recovery_unit(
+    seed: int, point: str, hit: int, first_hit: int, expected: dict
+) -> SweepOutcome:
+    """One re-entrancy unit: crash recovery at (point, hit), recover again."""
+    scenario = _crashed_scenario(seed, first_hit)
+    injector = FaultInjector(seed=seed).arm(point, hit)
+    span_tracer = _sweep_spans()
+    crashed = False
+    try:
+        with span_tracer or nullcontext(), injector:
+            _recover(scenario)
+    except InjectedCrash:
+        crashed = True
+        _crash_abandon(span_tracer)
+    if not crashed:
+        return SweepOutcome(point, hit, False, False, "armed point never fired")
+    # Recovery itself died: power-cycle again, recover from scratch.
+    scenario.host.crash()
+    scenario.host.restart()
+    with span_tracer or nullcontext():
+        engine = _recover(scenario)
+    _check_spans(span_tracer, allow_abandoned=True)
+    ok = _read_contents(engine) == expected
+    return SweepOutcome(
+        point, hit, True, ok, "" if ok else "second recovery diverged"
+    )
+
+
+def sweep_recovery_points(
+    seed: int = 7,
+    max_hits_per_point: int = 2,
+    jobs: int = 1,
+    limit: int | None = None,
+    only: tuple[str, int] | None = None,
+) -> SweepReport:
     """Crash PolarRecv at each of its own points, power-cycle, recover
     again — a half-finished recovery must itself be recoverable."""
     golden = _golden_run(seed)
@@ -464,35 +615,17 @@ def sweep_recovery_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepRe
         "recovery-reentrancy",
         distinct_points=sorted({name for name, _ in recovery_trace}),
     )
-    for point, hit in _select_hits(recovery_trace, max_hits_per_point):
-        scenario = _crashed_scenario(seed, first_hit)
-        injector = FaultInjector(seed=seed).arm(point, hit)
-        span_tracer = _sweep_spans()
-        crashed = False
-        try:
-            with span_tracer or nullcontext(), injector:
-                _recover(scenario)
-        except InjectedCrash:
-            crashed = True
-            _crash_abandon(span_tracer)
-        if not crashed:
-            report.outcomes.append(
-                SweepOutcome(point, hit, False, False, "armed point never fired")
-            )
-            continue
-        # Recovery itself died: power-cycle again, recover from scratch.
-        scenario.host.crash()
-        scenario.host.restart()
-        with span_tracer or nullcontext():
-            engine = _recover(scenario)
-        _check_spans(span_tracer, allow_abandoned=True)
-        ok = _read_contents(engine) == expected
-        report.outcomes.append(
-            SweepOutcome(
-                point, hit, True, ok, "" if ok else "second recovery diverged"
-            )
-        )
-    return report
+    coordinates = _select_hits(recovery_trace, max_hits_per_point)[:limit]
+    if only is not None:
+        coordinates = [only]
+    units = _coordinate_units(
+        "recovery",
+        "repro.faults.sweep:_recovery_unit",
+        seed,
+        coordinates,
+        extra=(first_hit, expected),
+    )
+    return _run_coordinates(report, units, coordinates, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -697,7 +830,22 @@ def _sharing_crash_inner(
     return SweepOutcome(point, hit, True, True)
 
 
-def sweep_sharing_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepReport:
+def _sharing_unit(
+    seed: int, point: str, hit: int, snapshots: dict[int, dict]
+) -> SweepOutcome:
+    """One sharing-failover unit: crash a node, fail over, check survivor."""
+    return _sharing_crash_and_failover(
+        seed, point, hit, _GoldenRun([], snapshots, {})
+    )
+
+
+def sweep_sharing_points(
+    seed: int = 7,
+    max_hits_per_point: int = 2,
+    jobs: int = 1,
+    limit: int | None = None,
+    only: tuple[str, int] | None = None,
+) -> SweepReport:
     """Crash either sharing node anywhere in the protocol; fusion
     failover must leave the survivor seeing exactly the committed state
     and the distributed locks serviceable."""
@@ -706,11 +854,17 @@ def sweep_sharing_points(seed: int = 7, max_hits_per_point: int = 2) -> SweepRep
         "sharing-failover",
         distinct_points=sorted({name for name, _ in golden.trace}),
     )
-    for point, hit in _select_hits(golden.trace, max_hits_per_point):
-        report.outcomes.append(
-            _sharing_crash_and_failover(seed, point, hit, golden)
-        )
-    return report
+    coordinates = _select_hits(golden.trace, max_hits_per_point)[:limit]
+    if only is not None:
+        coordinates = [only]
+    units = _coordinate_units(
+        "sharing",
+        "repro.faults.sweep:_sharing_unit",
+        seed,
+        coordinates,
+        extra=(golden.snapshots,),
+    )
+    return _run_coordinates(report, units, coordinates, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -840,8 +994,21 @@ def _storm_inner(
     return SweepOutcome(point, hit, True, True)
 
 
+def _storm_unit(
+    seed: int, point: str, hit: int, snapshots: dict[int, dict]
+) -> SweepOutcome:
+    """One storm unit: crash failover itself at (point, hit), retry it."""
+    return _storm_crash_and_refailover(
+        seed, point, hit, _GoldenRun([], snapshots, {})
+    )
+
+
 def sweep_failover_storm_points(
-    seed: int = 7, max_hits_per_point: int = 2
+    seed: int = 7,
+    max_hits_per_point: int = 2,
+    jobs: int = 1,
+    limit: int | None = None,
+    only: tuple[str, int] | None = None,
 ) -> SweepReport:
     """Crash failover at every coordinate it reaches, then re-run it.
 
@@ -866,8 +1033,14 @@ def sweep_failover_storm_points(
         "failover-storm",
         distinct_points=sorted({name for name, _ in trace}),
     )
-    for point, hit in _select_hits(trace, max_hits_per_point):
-        report.outcomes.append(
-            _storm_crash_and_refailover(seed, point, hit, golden)
-        )
-    return report
+    coordinates = _select_hits(trace, max_hits_per_point)[:limit]
+    if only is not None:
+        coordinates = [only]
+    units = _coordinate_units(
+        "storm",
+        "repro.faults.sweep:_storm_unit",
+        seed,
+        coordinates,
+        extra=(golden.snapshots,),
+    )
+    return _run_coordinates(report, units, coordinates, jobs)

@@ -1,0 +1,40 @@
+"""Parallel sweep/stress execution: spawn-safe work units, deterministic merge.
+
+The big correctness harnesses — the crash-anywhere sweeps, the failover
+storms, the seeded sharing stress — are embarrassingly parallel: every
+``(point, hit)`` crash coordinate and every seed shard rebuilds its own
+simulator stack from scratch and shares nothing with its siblings. This
+package turns each of those into a picklable :class:`~repro.parallel.runner.WorkUnit`
+executed by a ``multiprocessing`` spawn pool, then merges the results in
+unit order so the merged report is byte-identical to a serial run (the
+differential suite in ``tests/parallel/`` pins that equality).
+
+Spawn safety is the load-bearing property: every worker process starts
+from a fresh interpreter, so the per-process global hooks (fault
+injector, tracer, span tracer, MemSan) install independently per unit —
+no cross-process bleed, no shared RNG state. ``tests/parallel/
+test_spawn_safety.py`` regression-tests exactly that.
+
+CLI::
+
+    python -m repro.parallel sweep  --scenario all --jobs 4
+    python -m repro.parallel stress --system cxl --seeds 200 --jobs 4
+"""
+
+from .runner import (
+    ParallelRunError,
+    UnitResult,
+    WorkUnit,
+    default_jobs,
+    raise_for_failures,
+    run_units,
+)
+
+__all__ = [
+    "ParallelRunError",
+    "UnitResult",
+    "WorkUnit",
+    "default_jobs",
+    "raise_for_failures",
+    "run_units",
+]

@@ -10,13 +10,24 @@ wait on exactly one event at a time, and everything is deterministic given
 a deterministic model. That is all the reproduction needs, and it keeps
 the scheduler fast enough to push millions of events per benchmark run.
 
-The hot path is tuned for CPython (see PERFORMANCE.md): heap entries are
-plain ``(time, seq, event)`` tuples (C-speed comparisons), :class:`Timeout`
-construction writes the event slots directly instead of chaining through
-``Event.__init__`` + :meth:`Event.succeed`, the :meth:`Simulator.run` loop
-fires events inline without a per-event method call, and each
-:class:`Process` caches one bound resume callback for its whole life
-instead of materialising a new bound method per yield.
+The hot path is tuned for CPython (see PERFORMANCE.md). The event queue
+is a *bucketed calendar*: a heap of distinct fire times plus a dict
+mapping each time to the events due then (a bare event for the common
+singleton case, a list once a second event lands on the same tick).
+Real workloads schedule most events in same-tick batches — the settle
+layer's batched pipe transfers, zero-delay resource grants, process
+bootstraps — so one heap operation typically retires a whole batch, and
+batch members cost one list append instead of a tuple push. Within a
+tick events fire in scheduling order, which is exactly the ``(time,
+seq)`` order of a plain heap: the firing order is bit-identical to the
+heap reference kernel (asserted by ``tests/sim/test_queue_equivalence``
+and the perf harness's kernel-equivalence check). On top of that,
+:class:`Timeout` construction writes the event slots directly instead of
+chaining through ``Event.__init__`` + :meth:`Event.succeed`, the
+:meth:`Simulator.run` loop fires events inline without a per-event
+method call, and each :class:`Process` caches one bound resume callback
+for its whole life instead of materialising a new bound method per
+yield.
 
 Example — two processes racing on a shared clock::
 
@@ -38,7 +49,7 @@ Example — two processes racing on a shared clock::
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 __all__ = [
     "Event",
@@ -72,7 +83,7 @@ class Event:
     (5, 'payload')
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_fired")
+    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_fired", "_cancelled")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -80,11 +91,17 @@ class Event:
         self._value: Any = None
         self._triggered = False
         self._fired = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
         """Whether :meth:`succeed` has been called."""
         return self._triggered
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
 
     @property
     def value(self) -> Any:
@@ -99,18 +116,50 @@ class Event:
         """
         if self._triggered:
             raise SimError("event already triggered")
+        if self._cancelled:
+            raise SimError("event already cancelled")
         if delay < 0:
             raise SimError(f"negative delay: {delay}")
         self._triggered = True
         self._value = value
         sim = self.sim
         sim._seq += 1
-        heapq.heappush(sim._queue, (sim.now + delay, sim._seq, self))
+        at = sim.now + delay
+        buckets = sim._buckets
+        existing = buckets.setdefault(at, self)
+        if existing is self:
+            heapq.heappush(sim._times, at)
+        elif type(existing) is list:
+            existing.append(self)
+        else:
+            buckets[at] = [existing, self]
+        return self
+
+    def cancel(self) -> "Event":
+        """Withdraw this event: it will never fire and never run callbacks.
+
+        A scheduled event stays in its queue slot but is skipped at fire
+        time (the queue cannot cheaply remove an arbitrary entry from a
+        bucket). Cancelling an event that already fired is an error —
+        its callbacks have run and cannot be unrun.
+
+        >>> sim = Simulator()
+        >>> doomed = sim.timeout(10, value="never")
+        >>> _ = doomed.cancel()
+        >>> sim.run()
+        >>> (sim.now, doomed.triggered, doomed.cancelled)
+        (10, True, True)
+        """
+        if self._fired:
+            raise SimError("cannot cancel an event that already fired")
+        self._cancelled = True
         return self
 
     def _fire(self) -> None:
         if self._fired:
             raise SimError("event fired twice")
+        if self._cancelled:
+            return
         self._fired = True
         callbacks = self.callbacks
         if callbacks:
@@ -142,8 +191,17 @@ class Timeout(Event):
         self._value = value
         self._triggered = True
         self._fired = False
+        self._cancelled = False
         sim._seq += 1
-        heapq.heappush(sim._queue, (sim.now + int(delay), sim._seq, self))
+        at = sim.now + int(delay)
+        buckets = sim._buckets
+        existing = buckets.setdefault(at, self)
+        if existing is self:
+            heapq.heappush(sim._times, at)
+        elif type(existing) is list:
+            existing.append(self)
+        else:
+            buckets[at] = [existing, self]
 
 
 class Process(Event):
@@ -202,10 +260,15 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, event) entries.
+    """The event loop: a bucketed calendar of per-tick event batches.
+
+    ``_times`` is a heap of distinct fire times; ``_buckets`` maps each
+    time to either a single event or the list of events due then, in
+    scheduling order. ``_seq`` counts every scheduled event (statistics
+    and the tie-break contract both survive from the plain-heap kernel:
+    within a tick, scheduling order is firing order).
 
     >>> sim = Simulator()
-    >>> sim.run_process(iter([]))  # doctest: +SKIP
     >>> def hello():
     ...     yield sim.timeout(100)
     ...     return "hello at %d" % sim.now
@@ -215,7 +278,8 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[tuple[int, int, Event]] = []
+        self._times: list[int] = []
+        self._buckets: dict[int, Union[Event, list[Event]]] = {}
         self._seq = 0
         self._processes = 0
 
@@ -270,32 +334,58 @@ class Simulator:
 
     def _schedule(self, at: int, event: Event) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (at, self._seq, event))
+        buckets = self._buckets
+        existing = buckets.setdefault(at, event)
+        if existing is event:
+            heapq.heappush(self._times, at)
+        elif type(existing) is list:
+            existing.append(event)
+        else:
+            buckets[at] = [existing, event]
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or simulated time reaches ``until``."""
-        queue = self._queue
+        times = self._times
+        buckets = self._buckets
         heappop = heapq.heappop
         # The event-firing logic is inlined from Event._fire: one Python
         # call frame per event is the dominant kernel cost at millions of
-        # events per benchmark run.
-        while queue:
-            entry = queue[0]
-            at = entry[0]
+        # events per benchmark run. Each heap pop retires a whole tick;
+        # events scheduled *at* the tick being fired (zero-delay chains)
+        # open a fresh bucket for the same time, which re-enters the heap
+        # and is drained next — preserving exact scheduling order.
+        while times:
+            at = times[0]
             if until is not None and at > until:
                 self.now = until
                 return
-            heappop(queue)
+            heappop(times)
             self.now = at
-            event = entry[2]
-            if event._fired:
-                raise SimError("event fired twice")
-            event._fired = True
-            callbacks = event.callbacks
-            if callbacks:
-                event.callbacks = []
-                for callback in callbacks:
-                    callback(event)
+            entry = buckets.pop(at)
+            if type(entry) is list:
+                for event in entry:
+                    if event._fired:
+                        raise SimError("event fired twice")
+                    if event._cancelled:
+                        continue
+                    event._fired = True
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for callback in callbacks:
+                            callback(event)
+            else:
+                event = entry
+                if event._fired:
+                    raise SimError("event fired twice")
+                if event._cancelled:
+                    continue
+                event._fired = True
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for callback in callbacks:
+                        callback(event)
         if until is not None:
             self.now = max(self.now, until)
 

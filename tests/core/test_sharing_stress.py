@@ -10,157 +10,47 @@ shared column. After each schedule:
   invariants (no stale read past an invalid flag, flush-before-release
   of exactly the dirty lines, monotone LSNs) via the trace checker.
 
-The cluster is built once per system and reused — seeds randomize the
-*schedules*, which is where interleaving bugs live; rebuilding the stack
-200 times would spend the whole budget on setup.
+The schedule engine lives in :mod:`repro.parallel.stress`: seeds run in
+self-contained *shards* (fresh cluster + oracle per shard, oracle state
+carried across the seeds within a shard), which is also what lets
+``--jobs N`` fan the same seeds over a spawn pool with byte-identical
+results (``tests/parallel/test_differential.py``). Here we run the
+full seed budget serially — the tier-1 stress gate.
 """
 
-import random
+from repro.parallel.stress import run_sharing_stress
 
-import pytest
-
-from repro.analysis.memsan import MemSan
-from repro.bench.harness import build_sharing_setup
-from repro.obs import (
-    SpanTracer,
-    Tracer,
-    assert_span_invariants,
-    assert_trace_invariants,
-)
-from repro.workloads.sysbench import SysbenchWorkload
-
-N_NODES = 3
-ROWS = 240
 N_SEEDS = 200
-OPS_PER_SEED = 14
-KEYS = range(1, ROWS + 1)
-
-TABLE = "sbtest_shared"
+SHARD_SIZE = 50
 
 
-@pytest.fixture(scope="module")
-def cxl_setup():
-    workload = SysbenchWorkload(rows=ROWS, n_nodes=N_NODES)
-    return build_sharing_setup("cxl", N_NODES, workload)
-
-
-@pytest.fixture(scope="module")
-def rdma_setup():
-    workload = SysbenchWorkload(rows=ROWS, n_nodes=N_NODES)
-    return build_sharing_setup("rdma", N_NODES, workload)
-
-
-def _oracle_seed(setup) -> dict[int, int]:
-    """Read the current shared-column values once, through node 0."""
-    oracle = {}
-    for key in KEYS:
-        row = setup.sim.run_process(setup.nodes[0].point_select(TABLE, key))
-        oracle[key] = row["k"]
-    return oracle
-
-
-def _run_schedule(setup, rng: random.Random, oracle: dict[int, int]) -> None:
-    sim = setup.sim
-    next_value = rng.randrange(1 << 20)
-    for _ in range(OPS_PER_SEED):
-        node = rng.choice(setup.nodes)
-        op = rng.random()
-        key = rng.choice(list(KEYS))
-        if op < 0.45:
-            row = sim.run_process(node.point_select(TABLE, key))
-            assert row["k"] == oracle[key], (
-                f"{node.node_id} read stale k for key {key}"
-            )
-        elif op < 0.80:
-            next_value += 1
-            assert sim.run_process(
-                node.point_update(TABLE, key, "k", next_value)
-            )
-            oracle[key] = next_value
-        elif op < 0.92:
-            start = rng.choice(list(KEYS))
-            count = rng.randrange(1, 8)
-            rows = sim.run_process(node.range_select(TABLE, start, count))
-            for row in rows:
-                assert row["k"] == oracle[row["id"]]
-        elif op < 0.97 and setup.fusion is not None:
-            # Recycle the globally-coldest DBP pages: pushes removal
-            # flags every node must observe before reusing the entry,
-            # then run the nodes' background reclaim scans.
-            setup.fusion.recycle(
-                rng.randrange(1, 3), node.engine.meter, setup.lock_service
-            )
-            for other in setup.nodes:
-                other.engine.buffer_pool.scan_and_reclaim_removed()
-        else:
-            # Evict node-local state, forcing re-registration/refetch on
-            # the next access.
-            pool = node.engine.buffer_pool
-            if hasattr(pool, "_evict_entry"):
-                # CXL: the register-pressure eviction path (invalidate
-                # cached lines, deregister from fusion, drop the entry).
-                if pool.resident_page_ids():
-                    pool._evict_entry()
-            else:
-                # RDMA: the DBP-recycle handler drops the local copy.
-                resident = pool.resident_page_ids()
-                if resident:
-                    pool.drop_local(rng.choice(resident))
-
-
-def _stress(setup, base_seed: int) -> None:
-    oracle = _oracle_seed(setup)
-    accesses = releases = spans_checked = ms_accesses = 0
-    for seed in range(N_SEEDS):
-        # A fresh per-schedule MemSan also exercises its mid-run install
-        # (pre-existing cache copies are adopted, not reported).
-        ms = MemSan()
-        ms.watch_setup(setup)
-        with ms, Tracer() as tracer, SpanTracer() as span_tracer:
-            _run_schedule(setup, random.Random(base_seed + seed), oracle)
-        assert not ms.reports, (
-            f"seed {base_seed + seed}: " + "; ".join(map(str, ms.reports))
-        )
-        ms_accesses += ms.accesses_checked
-        stats = assert_trace_invariants(tracer)
-        span_stats = assert_span_invariants(span_tracer)
-        accesses += stats.accesses_checked
-        releases += stats.releases_checked
-        spans_checked += span_stats.spans
-    assert spans_checked > N_SEEDS
+def test_cxl_sharing_stress_200_seeds():
+    report = run_sharing_stress(
+        system="cxl",
+        n_seeds=N_SEEDS,
+        shard_size=SHARD_SIZE,
+        jobs=1,
+        base_seed=1000,
+    )
+    assert report.ok, report.failures
+    assert [shard.seed_start for shard in report.shards] == [
+        1000, 1050, 1100, 1150,
+    ]
+    assert all(shard.converged for shard in report.shards)
+    totals = report.totals()
     # The sweep exercised the protocol, not an idle trace.
-    assert accesses > N_SEEDS
-    assert releases > N_SEEDS
-    assert ms_accesses > N_SEEDS
-
-    # Convergence: every node agrees with the oracle at the end.
-    for node in setup.nodes:
-        for key in sorted(random.Random(base_seed).sample(list(KEYS), 40)):
-            row = setup.sim.run_process(node.point_select(TABLE, key))
-            assert row["k"] == oracle[key]
+    assert totals["spans"] > N_SEEDS
+    assert totals["accesses"] > N_SEEDS
+    assert totals["releases"] > N_SEEDS
+    assert totals["memsan_accesses"] > N_SEEDS
 
 
-def test_cxl_sharing_stress_200_seeds(cxl_setup):
-    _stress(cxl_setup, base_seed=1000)
-
-
-def test_rdma_sharing_stress(rdma_setup):
+def test_rdma_sharing_stress():
     # Fewer seeds: the RDMA baseline shares the node/driver machinery,
     # this guards its flush-page-before-release path and invalidation
     # messages under the same randomized interleavings.
-    oracle = _oracle_seed(rdma_setup)
-    ms_accesses = 0
-    for seed in range(40):
-        ms = MemSan()
-        ms.watch_setup(rdma_setup)
-        with ms, Tracer() as tracer, SpanTracer() as span_tracer:
-            _run_schedule(rdma_setup, random.Random(5000 + seed), oracle)
-        assert not ms.reports, "; ".join(map(str, ms.reports))
-        ms_accesses += ms.accesses_checked
-        assert_trace_invariants(tracer)
-        assert_span_invariants(span_tracer)
-    assert ms_accesses > 40
-    for node in rdma_setup.nodes:
-        for key in (1, ROWS // 2, ROWS):
-            row = rdma_setup.sim.run_process(node.point_select(TABLE, key))
-            assert row["k"] == oracle[key]
+    report = run_sharing_stress(
+        system="rdma", n_seeds=40, shard_size=40, jobs=1, base_seed=5000
+    )
+    assert report.ok, report.failures
+    assert report.totals()["memsan_accesses"] > 40

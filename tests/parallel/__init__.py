@@ -1,0 +1,1 @@
+"""Tests for the parallel work-unit runner, differential layer, and spawn safety."""

@@ -1,0 +1,111 @@
+"""The work-unit runner itself: plumbing, merge order, failure envelopes."""
+
+import pytest
+
+from repro.parallel import (
+    ParallelRunError,
+    WorkUnit,
+    default_jobs,
+    raise_for_failures,
+    run_units,
+)
+from repro.parallel.runner import resolve_task
+
+
+def _units(n):
+    return [
+        WorkUnit("repro.parallel.probes:echo", (i,), label=f"echo-{i}")
+        for i in range(n)
+    ]
+
+
+def test_serial_runs_inline_in_order():
+    results = run_units(_units(5), jobs=1)
+    assert [r.value for r in results] == [(i,) for i in range(5)]
+    assert [r.index for r in results] == list(range(5))
+    assert all(r.ok for r in results)
+
+
+def test_parallel_merge_is_unit_order():
+    # imap_unordered may complete in any order; the merge must not.
+    results = run_units(_units(8), jobs=2)
+    assert [r.value for r in results] == [(i,) for i in range(8)]
+    assert [r.index for r in results] == list(range(8))
+
+
+def test_parallel_uses_worker_processes():
+    import os
+
+    units = [WorkUnit("repro.parallel.probes:process_id") for _ in range(4)]
+    pids = {r.value for r in run_units(units, jobs=2)}
+    assert os.getpid() not in pids
+
+
+def test_serial_stays_in_this_process():
+    import os
+
+    units = [WorkUnit("repro.parallel.probes:process_id")]
+    (result,) = run_units(units, jobs=1)
+    assert result.value == os.getpid()
+
+
+def test_failure_is_captured_not_raised():
+    units = [
+        WorkUnit("repro.parallel.probes:echo", (1,), label="good"),
+        WorkUnit(
+            "repro.parallel.probes:fail",
+            ("boom",),
+            label="bad",
+            repro="python -m repro.parallel probes fail",
+        ),
+    ]
+    for jobs in (1, 2):
+        good, bad = run_units(units, jobs=jobs)
+        assert good.ok and good.value == (1,)
+        assert not bad.ok
+        assert bad.error_type == "AssertionError"
+        assert "boom" in bad.error
+        assert bad.repro == "python -m repro.parallel probes fail"
+
+
+def test_raise_for_failures_names_label_and_repro():
+    units = [
+        WorkUnit(
+            "repro.parallel.probes:fail",
+            ("kaput",),
+            label="seed 1003",
+            repro="rerun --seed 1003",
+        )
+    ]
+    with pytest.raises(ParallelRunError) as excinfo:
+        raise_for_failures(run_units(units, jobs=1), what="stress")
+    message = str(excinfo.value)
+    assert "seed 1003" in message
+    assert "kaput" in message
+    assert "rerun --seed 1003" in message
+
+
+def test_raise_for_failures_quiet_on_success():
+    raise_for_failures(run_units(_units(2), jobs=1))
+
+
+def test_resolve_task_rejects_bad_specs():
+    with pytest.raises(ParallelRunError, match="module:function"):
+        resolve_task("no-colon-here")
+    with pytest.raises(ParallelRunError, match="callable"):
+        resolve_task("repro.parallel.probes:does_not_exist")
+
+
+def test_jobs_zero_means_all_cores():
+    assert default_jobs() >= 1
+    results = run_units(_units(2), jobs=0)
+    assert [r.value for r in results] == [(0,), (1,)]
+
+
+def test_single_unit_runs_inline_even_with_jobs():
+    # One unit never warrants a pool; the runner must not pay spawn cost.
+    import os
+
+    units = [WorkUnit("repro.parallel.probes:process_id")]
+    (result,) = run_units(units, jobs=4)
+    assert result.value == os.getpid()
