@@ -1,4 +1,10 @@
-"""CLI: ``python -m repro.analysis lint [paths...]`` (default: ``src``)."""
+"""CLI: static checks.
+
+::
+
+    python -m repro.analysis lint [paths...]     # protocol lint (default: src)
+    python -m repro.analysis docs FILE.md ...    # documented-CLI consistency
+"""
 
 from __future__ import annotations
 
@@ -8,9 +14,16 @@ import sys
 def main(argv: list[str]) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print("usage: python -m repro.analysis lint [paths...]   (default: src)")
+        print("       python -m repro.analysis docs FILE.md [FILE.md...]")
         return 0 if argv else 2
+    if argv[0] == "docs":
+        from .docs_cli import main as docs_main
+
+        return docs_main(argv[1:])
     if argv[0] != "lint":
-        raise SystemExit(f"unknown analysis command: {argv[0]!r} (try 'lint')")
+        raise SystemExit(
+            f"unknown analysis command: {argv[0]!r} (try 'lint' or 'docs')"
+        )
     from .lint import main as lint_main
 
     return lint_main(argv[1:])

@@ -31,6 +31,7 @@ EXPERIMENTS = {
     "fig11": "test_fig11_sharing_point_update.py",
     "fig12": "test_fig12_sharing_read_write.py",
     "fig13": "test_fig13_breakdown.py",
+    "fig_scale": "test_fig_scale.py",
     "table3": "test_table3_tpcc_tatp.py",
     "ablations": "test_ablations.py",
     "counters": "test_counters_amplification.py",
@@ -128,6 +129,10 @@ def main(argv: list[str]) -> int:
         env["REPRO_BENCH_SPANS"] = "1"
     if with_memsan or "memsan" in names:
         env["REPRO_BENCH_MEMSAN"] = "1"
+    # fig_scale parallelizes *within* its file (one work unit per scale
+    # point); hand it the --jobs value since file-level sharding cannot
+    # split a single experiment.
+    env["REPRO_BENCH_JOBS"] = str(jobs)
 
     def pytest_command(selected: list[str]) -> list[str]:
         return [

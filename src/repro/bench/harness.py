@@ -25,6 +25,7 @@ from ..core.coherency import FLAG_BYTES_PER_ENTRY, FlagSlab
 from ..core.cxl_bufferpool import CxlBufferPool
 from ..core.fusion import BufferFusionServer, PageLockService
 from ..core.memmgr import CxlMemoryManager
+from ..core.shard_router import FusionShardRouter
 from ..core.hw_coherent import HwCoherentSharedPool
 from ..core.sharing import MultiPrimaryNode, SharedCxlBufferPool
 from ..core.block import pool_bytes_needed
@@ -277,7 +278,11 @@ class SharingSetup:
     cost: CostModel
     lock_service: PageLockService
     page_store: PageStore
-    fusion: Optional[BufferFusionServer] = None
+    # Single server (n_shards == 1) or a FusionShardRouter over
+    # fusion_shards — both duck-type the same RPC surface.
+    fusion: Optional[BufferFusionServer | FusionShardRouter] = None
+    fusion_shards: list = field(default_factory=list)
+    n_shards: int = 1
     dbp_server: Optional[RdmaDbpServer] = None
     dbp_host: Optional[Host] = None
     manager: Optional[CxlMemoryManager] = None
@@ -307,6 +312,7 @@ def build_sharing_setup(
     config: Optional[LatencyConfig] = None,
     cost: Optional[CostModel] = None,
     lbp_min_pages: int = _LBP_MIN_PAGES,
+    n_shards: int = 1,
 ) -> SharingSetup:
     """Build a multi-primary cluster over one shared dataset.
 
@@ -314,13 +320,30 @@ def build_sharing_setup(
     ``"rdma"`` (the PolarDB-MP baseline), or ``"cxl3"`` (modeled CXL 3.0
     hardware coherency — the paper's forward-looking case, used by the
     protocol-overhead ablation).
+
+    ``n_shards > 1`` (``"cxl"`` only) shards the DBP metadata across
+    that many fusion servers by hash of page id and installs a
+    :class:`~repro.core.shard_router.FusionShardRouter` as
+    ``setup.fusion`` — the node stack is identical either way.
     """
     if system not in ("cxl", "rdma", "cxl3"):
         raise ValueError(f"unknown sharing system {system!r}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > 1 and system != "cxl":
+        raise ValueError(
+            "a sharded fusion tier requires the 'cxl' sharing system "
+            f"(got {system!r}: rdma has its own DBP server, cxl3 assumes "
+            "one hardware-coherent fusion region)"
+        )
     config = config or LatencyConfig()
     cost = cost or CostModel(latency=config)
     sim = Simulator()
-    cluster = Cluster(sim, config=config)
+    # Port budget: 8 memory devices + loader (+ dbp-server for rdma) +
+    # one link per node, with headroom for HA joins after the build.
+    # Fleets beyond ~20 nodes need a wider switch than the 32-port
+    # default; capacity is unchanged (see CxlFabric.max_ports).
+    cluster = Cluster(sim, config=config, switch_ports=max(32, n_nodes + 16))
 
     # Load the dataset once; durable storage is the common substrate.
     loader_host = cluster.add_host("loader", with_rdma=False)
@@ -360,20 +383,44 @@ def build_sharing_setup(
     setup.n_flag_entries = n_flag_entries
     setup.base_lsn = loader_log.next_lsn
     setup.schema = schema
+    setup.n_shards = n_shards
 
     if system in ("cxl", "cxl3"):
+        # Per-shard slot budget: an even split of the dataset plus slack
+        # per shard, since the page-id hash never balances perfectly.
+        shard_slots = (
+            dbp_slots if n_shards == 1 else dbp_slots // n_shards + _POOL_SLACK_PAGES
+        )
         manager = CxlMemoryManager(
             cluster.fabric,
-            dbp_slots * PAGE_SIZE
+            n_shards * shard_slots * PAGE_SIZE
             + (n_nodes + 1) * ((n_flag_entries * FLAG_BYTES_PER_ENTRY) + (2 << 21)),
             config=config,
         )
-        fusion_extent = manager.allocate("fusion", dbp_slots * PAGE_SIZE)
-        fusion = BufferFusionServer(
-            manager.region, fusion_extent.offset, dbp_slots, store, config=config
-        )
         setup.manager = manager
-        setup.fusion = fusion
+        if n_shards == 1:
+            fusion_extent = manager.allocate("fusion", shard_slots * PAGE_SIZE)
+            fusion = BufferFusionServer(
+                manager.region, fusion_extent.offset, shard_slots, store, config=config
+            )
+            setup.fusion = fusion
+            setup.fusion_shards = [fusion]
+        else:
+            for index in range(n_shards):
+                extent = manager.allocate(
+                    f"fusion/{index}", shard_slots * PAGE_SIZE
+                )
+                setup.fusion_shards.append(
+                    BufferFusionServer(
+                        manager.region,
+                        extent.offset,
+                        shard_slots,
+                        store,
+                        config=config,
+                        service=f"fusion/{index}",
+                    )
+                )
+            setup.fusion = FusionShardRouter(setup.fusion_shards)
     else:
         dbp_region = cluster.alloc_remote_memory("dbp", dbp_slots * PAGE_SIZE)
         setup.dbp_server = RdmaDbpServer(dbp_region, dbp_slots, store, config=config)
@@ -614,6 +661,7 @@ def counter_snapshot(setup, tracer=None) -> dict[str, float]:
         add("fusion_stats.pages_loaded", fusion.pages_loaded)
         add("fusion_stats.pages_recycled", fusion.pages_recycled)
         add("fusion_stats.invalidations_pushed", fusion.invalidations_pushed)
+        add("fusion_stats.reshares", getattr(fusion, "reshares", 0))
     dbp_server = getattr(setup, "dbp_server", None)
     if dbp_server is not None:
         add("dbp_stats.rpcs", dbp_server.rpcs)

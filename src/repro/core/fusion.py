@@ -31,6 +31,7 @@ from ..sim.latency import LatencyConfig
 from ..storage.pagestore import PageStore
 from ..storage.wal import RedoLog
 from .coherency import set_remote_flag
+from .directory import SharerDirectory
 from .recovery import apply_redo_to_image
 
 __all__ = [
@@ -156,6 +157,7 @@ class BufferFusionServer:
         n_slots: int,
         page_store: PageStore,
         config: Optional[LatencyConfig] = None,
+        service: str = "fusion",
     ) -> None:
         if pages_base + n_slots * PAGE_SIZE > region.size:
             raise ValueError("page slots outside the region")
@@ -164,12 +166,24 @@ class BufferFusionServer:
         self.n_slots = n_slots
         self.page_store = page_store
         self.config = config or LatencyConfig()
+        # MemSan sync-clock name for this server's RPCs. A sharded tier
+        # gives each shard a distinct service ("fusion/0", "fusion/1" ...)
+        # so happens-before edges are per-shard, matching the real
+        # communication pattern (a node only syncs with a page's owner).
+        self.service = service
         self._entries: OrderedDict[int, FusionEntry] = OrderedDict()  # LRU order
         self._free = list(range(n_slots - 1, -1, -1))
+        # Per-page sharer directory: which nodes hold *valid* cached
+        # lines. Write release pushes invalid flags only to these (and
+        # drops them); nodes rejoin via the reshare RPC after clearing
+        # their flag. Invalidation cost therefore scales with the number
+        # of actual sharers, not cluster size.
+        self.directory = SharerDirectory()
         self.rpcs = 0
         self.pages_loaded = 0
         self.pages_recycled = 0
         self.invalidations_pushed = 0
+        self.reshares = 0
         # TEST-ONLY mutation switch for the memsan self-tests (see
         # tests/analysis/test_memsan_protocol.py): drop the invalid-flag
         # pushes on write release, leaving readers with stale caches.
@@ -209,7 +223,7 @@ class BufferFusionServer:
             tracer.count("fusion.rpcs")
         ms = memsan_active()
         if ms is not None:
-            ms.rpc_acquire("fusion")
+            ms.rpc_acquire(self.service)
         try:
             entry = self._entries.get(page_id)
             if entry is None:
@@ -231,10 +245,15 @@ class BufferFusionServer:
                     tracer.count("fusion.pages_loaded")
             self._entries.move_to_end(page_id)
             entry.active[node_id] = (invalid_addr, removal_addr)
+            if invalid_addr:
+                # Directory add-on-fetch. Address-0 registrants (hardware-
+                # coherent mode) have no flag to target, so they are never
+                # directory members.
+                self.directory.add(page_id, node_id)
             return self.data_offset_of_slot(entry.slot)
         finally:
             if ms is not None:
-                ms.rpc_release("fusion")
+                ms.rpc_release(self.service)
 
     def note_touch(self, page_id: int) -> None:
         """Cheap LRU maintenance on the DBP (no RPC — piggybacked)."""
@@ -246,9 +265,12 @@ class BufferFusionServer:
     ) -> int:
         """A node released a write lock after flushing its cache lines.
 
-        Sets the ``invalid`` flag of every *other* active node — one CXL
-        store each — and marks the DBP copy dirty versus storage.
-        Returns the number of invalidations pushed.
+        Sets the ``invalid`` flag of every *other current sharer* in the
+        page's directory — one CXL store each — marks the DBP copy dirty
+        versus storage, and drops each flagged node from the directory
+        (it rejoins via :meth:`reshare` once it observes and clears the
+        flag). Returns the number of invalidations pushed — bounded by
+        the number of nodes actively sharing the page, not cluster size.
 
         Raises :class:`FusionUnavailableError` when the injector has an
         armed RPC failure for this call — checked before any server
@@ -270,18 +292,28 @@ class BufferFusionServer:
         crash_point("fusion.release.dirty")
         ms = memsan_active()
         if ms is not None:
-            ms.rpc_acquire("fusion")
+            ms.rpc_acquire(self.service)
         try:
             pushed = 0
             tracer = obs_active()
-            for node_id, (invalid_addr, _) in entry.active.items():
-                if node_id == writer_node or not invalid_addr:
+            # The writer flushed fresh lines; make sure it is recorded as
+            # a sharer regardless of how it entered the critical section.
+            self.directory.add(page_id, writer_node)
+            for node_id in self.directory.sharers(page_id):
+                if node_id == writer_node:
+                    continue
+                invalid_addr, _ = entry.active.get(node_id, (0, 0))
+                if not invalid_addr:
                     # Address 0 = the node registered no flags (hardware-
-                    # coherent mode, repro.core.hw_coherent).
+                    # coherent mode, repro.core.hw_coherent). Not expected
+                    # in the directory, but skip defensively.
                     continue
                 if self._mutate_skip_invalidate:
                     continue
                 set_remote_flag(self.region, invalid_addr, meter, self.config)
+                # Drop-on-invalidate: the sticky flag byte keeps the node
+                # safe until it reshares; later writers stop pushing to it.
+                self.directory.drop(page_id, node_id)
                 pushed += 1
                 if tracer is not None:
                     tracer.emit(
@@ -297,12 +329,63 @@ class BufferFusionServer:
             return pushed
         finally:
             if ms is not None:
-                ms.rpc_release("fusion")
+                ms.rpc_release(self.service)
+
+    def reshare(self, page_id: int, node_id: str, meter: AccessMeter) -> bool:
+        """RPC: rejoin the page's sharer directory after an invalidation.
+
+        A node that observed and cleared its invalid flag calls this
+        *before* re-caching any line of the page. The RPC's sync with the
+        owning shard is load-bearing for coherency, not just bookkeeping:
+        it carries the happens-before edge from every write release that
+        happened since this node was dropped from the directory (those
+        writers synced with the same shard), so the re-reader's cached
+        lines are ordered after all flushed writes it missed flags for.
+
+        Returns whether the node rejoined (False if the page was recycled
+        or the node is no longer registered — the next ``request_page``
+        re-establishes both).
+
+        Raises :class:`FusionUnavailableError` on an armed RPC failure,
+        exactly as :meth:`request_page`.
+        """
+        injector = fault_injector()
+        if injector is not None and injector.take_rpc_failure("fusion.reshare"):
+            raise FusionUnavailableError(
+                f"reshare({page_id}) from {node_id!r}: fusion server "
+                "did not respond"
+            )
+        self.rpcs += 1
+        self.reshares += 1
+        meter.charge_ns(self.config.rpc_base_ns)
+        meter.count("fusion_rpcs")
+        tracer = obs_active()
+        if tracer is not None:
+            tracer.count("fusion.rpcs")
+            tracer.count("fusion.reshares")
+        ms = memsan_active()
+        if ms is not None:
+            ms.rpc_acquire(self.service)
+        try:
+            entry = self._entries.get(page_id)
+            if entry is None:
+                return False
+            invalid_addr, _ = entry.active.get(node_id, (0, 0))
+            if not invalid_addr:
+                return False
+            self.directory.add(page_id, node_id)
+            if tracer is not None:
+                tracer.emit("fusion", "reshare", page=page_id, node=node_id)
+            return True
+        finally:
+            if ms is not None:
+                ms.rpc_release(self.service)
 
     def deregister(self, page_id: int, node_id: str) -> None:
         entry = self._entries.get(page_id)
         if entry is not None:
             entry.active.pop(node_id, None)
+            self.directory.drop(page_id, node_id)
 
     def deregister_node(self, node_id: str) -> int:
         """Drop a node's registration from every DBP entry.
@@ -316,6 +399,7 @@ class BufferFusionServer:
         for entry in self._entries.values():
             if entry.active.pop(node_id, None) is not None:
                 dropped += 1
+        self.directory.drop_node(node_id)
         return dropped
 
     # -- failover ----------------------------------------------------------------------
@@ -366,7 +450,7 @@ class BufferFusionServer:
         # a coordinator that crashes mid-failover publishes nothing.
         ms_rpc = memsan_active()
         if ms_rpc is not None:
-            ms_rpc.rpc_acquire("fusion")
+            ms_rpc.rpc_acquire(self.service)
         records_by_page: dict[int, list] = {}
         for record in redo_log.records_since(redo_log.checkpoint_lsn):
             records_by_page.setdefault(record.page_id, []).append(record)
@@ -416,11 +500,17 @@ class BufferFusionServer:
                             node=node_id,
                             redo_records=len(page_records),
                         )
+                    # Failover pushes conservatively to *every* registrant
+                    # with a flag (not just directory members): a previous
+                    # failover attempt may have died after dropping a node
+                    # from the directory but before its flag store landed.
+                    # Re-pushing is idempotent (the flag byte is sticky).
                     for other, (invalid_addr, _) in entry.active.items():
                         if other != node_id and invalid_addr:
                             set_remote_flag(
                                 self.region, invalid_addr, meter, self.config
                             )
+                            self.directory.drop(page_id, other)
                             self.invalidations_pushed += 1
                             if tracer is not None:
                                 tracer.count("fusion.invalidations_pushed")
@@ -451,8 +541,10 @@ class BufferFusionServer:
                 lock_service.force_release_read(page_id)
         for entry in self._entries.values():
             entry.active.pop(node_id, None)
+        # Drop-on-crash: the dead node leaves every page's sharer set.
+        self.directory.drop_node(node_id)
         if ms_rpc is not None:
-            ms_rpc.rpc_release("fusion")
+            ms_rpc.rpc_release(self.service)
         # Crash here: the dead node is fully deregistered but the caller
         # never saw the reply; re-running the whole failover is safe.
         crash_point("fusion.failover.done")
@@ -475,7 +567,7 @@ class BufferFusionServer:
         """
         ms = memsan_active()
         if ms is not None:
-            ms.rpc_acquire("fusion")
+            ms.rpc_acquire(self.service)
         try:
             recycled: list[int] = []
             for page_id in list(self._entries):
@@ -504,6 +596,7 @@ class BufferFusionServer:
                                 page=page_id,
                                 target=node_id,
                             )
+                self.directory.drop_page(page_id)
                 self._free.append(entry.slot)
                 recycled.append(page_id)
                 self.pages_recycled += 1
@@ -512,7 +605,7 @@ class BufferFusionServer:
             return recycled
         finally:
             if ms is not None:
-                ms.rpc_release("fusion")
+                ms.rpc_release(self.service)
 
     # -- helpers -----------------------------------------------------------------------------
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..db.constants import OFF_LSN, PAGE_SIZE
 from ..faults.injector import active as fault_injector
@@ -105,6 +105,7 @@ def retire_log(
     redo_log: RedoLog,
     meter: Optional[AccessMeter] = None,
     config: Optional[LatencyConfig] = None,
+    page_filter: Optional[Callable[[int], bool]] = None,
 ) -> int:
     """Harden a dead node's durable log into storage (log retirement).
 
@@ -124,6 +125,12 @@ def retire_log(
     rebuild, and the reason a failover storm can crash inside this loop
     (``recovery.retire.page``) and simply run it again. Returns the
     number of pages hardened.
+
+    ``page_filter`` restricts retirement to the pages it accepts — the
+    sharded fusion tier retires a dead node's log shard by shard, each
+    shard hardening only the pages it owns, so a crash mid-retirement
+    confines the rerun to one shard's slice. The union over shards is
+    exactly an unfiltered retirement (the filter partitions page ids).
     """
     config = config or LatencyConfig()
     by_page: dict[int, list[RedoRecord]] = {}
@@ -131,6 +138,8 @@ def retire_log(
         by_page.setdefault(record.page_id, []).append(record)
     retired = 0
     for page_id in sorted(by_page):
+        if page_filter is not None and not page_filter(page_id):
+            continue
         if page_store.exists(page_id):
             image = bytearray(page_store.read_page_unmetered(page_id))
             if meter is not None:

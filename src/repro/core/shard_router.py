@@ -1,0 +1,207 @@
+"""Client-side router over a sharded buffer-fusion tier.
+
+One fusion server owning all DBP metadata is a scalability wall: every
+node's page RPCs serialize through a single service. Sharding the DBP
+by hash of page id across ``M`` fusion servers splits that traffic —
+a node's lock/RPC activity for a page goes only to the page's *owning
+shard*, and each shard maintains its own per-page sharer directory and
+its own MemSan sync clock (``fusion/0``, ``fusion/1``, ...).
+
+:class:`FusionShardRouter` duck-types the full
+:class:`~repro.core.fusion.BufferFusionServer` surface so every
+consumer (``SharedCxlBufferPool``, the HA engine, the sweeps, the
+benchmarks) works unchanged whether ``setup.fusion`` is one server or a
+router over eight.
+
+>>> [shard_of_page(p, 4) for p in range(8)]
+[0, 1, 2, 3, 3, 2, 1, 3]
+>>> shard_of_page(12345, 1)
+0
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..hardware.memory import AccessMeter
+from ..storage.wal import RedoLog
+from .fusion import BufferFusionServer, FusionEntry, PageLockService
+
+__all__ = ["shard_of_page", "FusionShardRouter"]
+
+_MIX_MULT = 0x9E3779B97F4A7C15  # 64-bit golden-ratio multiplier
+_MASK64 = (1 << 64) - 1
+
+
+def shard_of_page(page_id: int, n_shards: int) -> int:
+    """Deterministic owning shard of ``page_id`` among ``n_shards``.
+
+    A splitmix-style bit mixer rather than ``page_id % n_shards``:
+    database page ids are sequential, so plain modulo would stripe
+    neighbouring pages across shards in lockstep and (worse) send all
+    pages of a loaded-in-order table region to predictable shards.
+    Mixing decorrelates shard choice from allocation order while staying
+    a pure function of the page id — any client computes the same owner
+    with no metadata lookup.
+
+    >>> shard_of_page(7, 1)
+    0
+    >>> all(0 <= shard_of_page(p, 8) < 8 for p in range(1000))
+    True
+    >>> counts = [0, 0, 0, 0]
+    >>> for p in range(4000):
+    ...     counts[shard_of_page(p, 4)] += 1
+    >>> all(abs(c - 1000) < 150 for c in counts)   # roughly balanced
+    True
+    """
+    if n_shards <= 1:
+        return 0
+    x = (page_id * _MIX_MULT) & _MASK64
+    x ^= x >> 29
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 32
+    return x % n_shards
+
+
+class FusionShardRouter:
+    """Routes each fusion RPC to the page's owning shard.
+
+    Pure client-side logic: owner choice is a hash of the page id, so
+    there is no extra metadata round trip. Cross-shard operations
+    (node deregistration, failover) fan out to every shard; per-page
+    operations touch exactly one.
+
+    The router exposes the same counters as a single server, aggregated
+    across shards, so ``counter_snapshot`` and the benchmark reports
+    need no special cases.
+    """
+
+    def __init__(self, shards: list[BufferFusionServer]) -> None:
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        self.shards = shards
+
+    # -- ownership ---------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def owner_of(self, page_id: int) -> BufferFusionServer:
+        return self.shards[shard_of_page(page_id, len(self.shards))]
+
+    def owner_index(self, page_id: int) -> int:
+        return shard_of_page(page_id, len(self.shards))
+
+    # -- per-page RPCs (route to the owning shard) -------------------------------------
+
+    def request_page(
+        self,
+        page_id: int,
+        node_id: str,
+        invalid_addr: int,
+        removal_addr: int,
+        meter: AccessMeter,
+    ) -> int:
+        return self.owner_of(page_id).request_page(
+            page_id, node_id, invalid_addr, removal_addr, meter
+        )
+
+    def note_touch(self, page_id: int) -> None:
+        self.owner_of(page_id).note_touch(page_id)
+
+    def on_write_release(
+        self, page_id: int, writer_node: str, meter: AccessMeter
+    ) -> int:
+        return self.owner_of(page_id).on_write_release(page_id, writer_node, meter)
+
+    def reshare(self, page_id: int, node_id: str, meter: AccessMeter) -> bool:
+        return self.owner_of(page_id).reshare(page_id, node_id, meter)
+
+    def deregister(self, page_id: int, node_id: str) -> None:
+        self.owner_of(page_id).deregister(page_id, node_id)
+
+    # -- fleet-wide operations (fan out) -----------------------------------------------
+
+    def deregister_node(self, node_id: str) -> int:
+        return sum(shard.deregister_node(node_id) for shard in self.shards)
+
+    def recover_node_failure(
+        self,
+        node_id: str,
+        redo_log: RedoLog,
+        meter: AccessMeter,
+        lock_service: Optional[PageLockService] = None,
+        write_locked_pages: Iterable[int] = (),
+        read_locked_pages: Iterable[int] = (),
+    ) -> int:
+        """Fan failover out shard by shard, each handling only its pages.
+
+        Every shard sees only the locked pages it owns, rebuilds those
+        from storage + the dead node's redo records, and scrubs the node
+        from its own directory/registrations — a shard never touches
+        another shard's metadata. Crashing mid-fan-out leaves earlier
+        shards fully recovered and later shards untouched; the whole
+        call is re-entrant, so the coordinator simply re-runs it.
+        """
+        writes = list(write_locked_pages)
+        reads = list(read_locked_pages)
+        rebuilt = 0
+        for index, shard in enumerate(self.shards):
+            rebuilt += shard.recover_node_failure(
+                node_id,
+                redo_log,
+                meter,
+                lock_service,
+                [p for p in writes if self.owner_index(p) == index],
+                [p for p in reads if self.owner_index(p) == index],
+            )
+        return rebuilt
+
+    def recycle(
+        self,
+        count: int,
+        meter: AccessMeter,
+        lock_service: Optional[PageLockService] = None,
+    ) -> list[int]:
+        recycled: list[int] = []
+        for shard in self.shards:
+            if len(recycled) >= count:
+                break
+            recycled.extend(shard.recycle(count - len(recycled), meter, lock_service))
+        return recycled
+
+    # -- lookups and aggregate counters ------------------------------------------------
+
+    def has_page(self, page_id: int) -> bool:
+        return self.owner_of(page_id).has_page(page_id)
+
+    def entry_of(self, page_id: int) -> FusionEntry:
+        return self.owner_of(page_id).entry_of(page_id)
+
+    def sharers(self, page_id: int) -> tuple[str, ...]:
+        return self.owner_of(page_id).directory.sharers(page_id)
+
+    @property
+    def resident_count(self) -> int:
+        return sum(shard.resident_count for shard in self.shards)
+
+    @property
+    def rpcs(self) -> int:
+        return sum(shard.rpcs for shard in self.shards)
+
+    @property
+    def pages_loaded(self) -> int:
+        return sum(shard.pages_loaded for shard in self.shards)
+
+    @property
+    def pages_recycled(self) -> int:
+        return sum(shard.pages_recycled for shard in self.shards)
+
+    @property
+    def invalidations_pushed(self) -> int:
+        return sum(shard.invalidations_pushed for shard in self.shards)
+
+    @property
+    def reshares(self) -> int:
+        return sum(shard.reshares for shard in self.shards)

@@ -180,6 +180,12 @@ class SharedCxlBufferPool(BufferPool):
                     )
                     self._clear_invalid_checked(meta)
                 self.meter.charge_ns(dropped * _INVALIDATE_LINE_NS)
+                # Rejoin the page's sharer directory *before* re-caching
+                # any line: writers since our drop stopped pushing flags
+                # at us, and this RPC's sync with the owning shard is the
+                # happens-before edge that publishes their flushed lines
+                # to our upcoming reads.
+                self._reshare_rpc(page_id)
                 if tracer is not None:
                     tracer.count("sharing.invalidations_observed")
             if tracer is not None:
@@ -380,6 +386,34 @@ class SharedCxlBufferPool(BufferPool):
                 spent_ns = self._charge_retry_or_raise(
                     "on_write_release", page_id, attempts, spent_ns, exc
                 )
+
+    def _reshare_rpc(self, page_id: int) -> bool:
+        """``reshare`` to the owning fusion shard after clearing our
+        invalid flag, under the same retry/backoff policy — without it
+        the shard would keep treating us as dropped and later releases
+        would never flag us again."""
+        spans = spans_active()
+        span = (
+            spans.begin("rpc", "reshare", meter=self.meter, page=page_id)
+            if spans is not None
+            else None
+        )
+        attempts = 0
+        spent_ns = 0.0
+        try:
+            while True:
+                try:
+                    return self.fusion.reshare(page_id, self.node_id, self.meter)
+                except RpcExhaustedError:
+                    raise
+                except FusionUnavailableError as exc:
+                    attempts += 1
+                    spent_ns = self._charge_retry_or_raise(
+                        "reshare", page_id, attempts, spent_ns, exc
+                    )
+        finally:
+            if span is not None:
+                spans.end(span, retries=attempts)
 
     def _charge_retry_or_raise(
         self,

@@ -658,12 +658,12 @@ def _sharing_ops() -> list[tuple]:
     return ops
 
 
-def _build_sharing(seed: int):
+def _build_sharing(seed: int, n_shards: int = 1):
     from ..bench.harness import build_sharing_setup
     from ..workloads.sysbench import SysbenchWorkload
 
     workload = SysbenchWorkload(rows=_SHARED_ROWS, n_nodes=2)
-    return build_sharing_setup("cxl", 2, workload, seed=seed)
+    return build_sharing_setup("cxl", 2, workload, seed=seed, n_shards=n_shards)
 
 
 def _sharing_prephase(setup) -> dict:
@@ -896,9 +896,22 @@ def _storm_failover(setup, actor: str = "failover") -> None:
             write_locked_pages=sorted(dead.write_locks_held),
             read_locked_pages=sorted(dead.read_locks_held),
         )
-        retire_log(
-            setup.page_store, dead.engine.redo_log, AccessMeter(), setup.config
-        )
+        shards = getattr(setup.fusion, "shards", None)
+        if shards is None:
+            retire_log(
+                setup.page_store, dead.engine.redo_log, AccessMeter(), setup.config
+            )
+        else:
+            # Sharded tier: each shard retires only the pages it owns —
+            # same per-shard slicing as the HA engine's failover.
+            for index in range(len(shards)):
+                retire_log(
+                    setup.page_store,
+                    dead.engine.redo_log,
+                    AccessMeter(),
+                    setup.config,
+                    page_filter=lambda p, i=index: setup.fusion.owner_index(p) == i,
+                )
 
 
 def _storm_crash_writer(setup, model: dict, seed: int, span_tracer) -> bool:
@@ -917,9 +930,9 @@ def _storm_crash_writer(setup, model: dict, seed: int, span_tracer) -> bool:
 
 
 def _storm_crash_and_refailover(
-    seed: int, point: str, hit: int, golden: _GoldenRun
+    seed: int, point: str, hit: int, golden: _GoldenRun, n_shards: int = 1
 ) -> SweepOutcome:
-    setup = _build_sharing(seed)
+    setup = _build_sharing(seed, n_shards=n_shards)
     model = _sharing_prephase(setup)
     ms = _sweep_memsan(setup)
     span_tracer = _sweep_spans()
@@ -959,6 +972,21 @@ def _storm_inner(
         return SweepOutcome(
             point, hit, False, False, "storm point never fired during failover"
         )
+    if getattr(setup.fusion, "shards", None) is not None:
+        # Sharded coordinate: one shard's failover just died half-done
+        # (the dead writer's locked page is the fresh key's leaf). The
+        # shared keys' leaves belong to a *different* shard, whose
+        # metadata, directory, and locks are untouched by the wedged
+        # recovery — it must keep serving reads right now.
+        survivor = setup.nodes[1]
+        row = setup.sim.run_process(
+            survivor.point_select(_SHARED_TABLE, _SHARED_KEYS[0])
+        )
+        if row is None:
+            return SweepOutcome(
+                point, hit, True, False,
+                "healthy shard failed to serve mid-storm read",
+            )
     # Attempt 2: the half-done failover crashed; a clean re-run must
     # converge — force-apply rebuilds and idempotent retirement make
     # every coordinate (including torn hardening writes) retryable.
@@ -995,11 +1023,11 @@ def _storm_inner(
 
 
 def _storm_unit(
-    seed: int, point: str, hit: int, snapshots: dict[int, dict]
+    seed: int, point: str, hit: int, snapshots: dict[int, dict], n_shards: int = 1
 ) -> SweepOutcome:
     """One storm unit: crash failover itself at (point, hit), retry it."""
     return _storm_crash_and_refailover(
-        seed, point, hit, _GoldenRun([], snapshots, {})
+        seed, point, hit, _GoldenRun([], snapshots, {}), n_shards=n_shards
     )
 
 
@@ -1009,6 +1037,7 @@ def sweep_failover_storm_points(
     jobs: int = 1,
     limit: int | None = None,
     only: tuple[str, int] | None = None,
+    n_shards: int = 1,
 ) -> SweepReport:
     """Crash failover at every coordinate it reaches, then re-run it.
 
@@ -1017,9 +1046,14 @@ def sweep_failover_storm_points(
     fusion rebuild/release/done, the hardening ``pagestore.write_page``
     (torn), ``recovery.retire.page`` — becomes a coordinate where a
     fresh run arms the failover, watches it die, and requires the retry
-    to converge on exactly the committed state."""
+    to converge on exactly the committed state.
+
+    ``n_shards > 1`` runs every coordinate against a sharded fusion
+    tier: the wedged attempt is confined to the owning shard, the other
+    shard must serve a read mid-storm, and retirement runs shard by
+    shard."""
     golden = _sharing_golden(seed)
-    probe_setup = _build_sharing(seed)
+    probe_setup = _build_sharing(seed, n_shards=n_shards)
     probe_model = _sharing_prephase(probe_setup)
     if not _storm_crash_writer(probe_setup, probe_model, seed, None):
         raise CrashSweepError("storm sweep: the writer crash never fired")
@@ -1041,6 +1075,6 @@ def sweep_failover_storm_points(
         "repro.faults.sweep:_storm_unit",
         seed,
         coordinates,
-        extra=(golden.snapshots,),
+        extra=(golden.snapshots, n_shards),
     )
     return _run_coordinates(report, units, coordinates, jobs)

@@ -63,6 +63,7 @@ __all__ = [
     "run_join_leave",
     "run_failover_storm",
     "run_degraded_mode",
+    "run_sharded_failover",
     "SCENARIOS",
 ]
 
@@ -109,13 +110,14 @@ class _Fleet:
         rows: int,
         seed: int,
         injector: FaultInjector,
+        n_shards: int = 1,
     ) -> None:
         self.scenario = scenario
         self.seed = seed
         self.rows = rows
         self.workload = SysbenchWorkload(rows=rows, n_nodes=n_nodes)
         self.setup: SharingSetup = build_sharing_setup(
-            "cxl", n_nodes, self.workload, seed=seed
+            "cxl", n_nodes, self.workload, seed=seed, n_shards=n_shards
         )
         self.sim = self.setup.sim
         self.injector = injector
@@ -266,7 +268,11 @@ class _Fleet:
             )
 
     def crash_node(
-        self, victim: int, point: str, storm: tuple[str, ...] = ()
+        self,
+        victim: int,
+        point: str,
+        storm: tuple[str, ...] = (),
+        between_attempts=None,
     ) -> None:
         """Kill ``victim`` inside one designated update, then fail over.
 
@@ -306,7 +312,7 @@ class _Fleet:
             "crash_injected", self.sim.now,
             node=node.node_id, point=point, committed=committed,
         )
-        self.fail_over(victim, arm_points=storm)
+        self.fail_over(victim, arm_points=storm, between_attempts=between_attempts)
         self.timeline.begin_phase(
             f"recovered ({len(self.driver.live)} live)", "up", self.sim.now,
             live=len(self.driver.live),
@@ -314,12 +320,20 @@ class _Fleet:
         self.probe_write(victim)
         self.verify()
 
-    def fail_over(self, victim: int, arm_points: tuple[str, ...] = ()) -> None:
+    def fail_over(
+        self,
+        victim: int,
+        arm_points: tuple[str, ...] = (),
+        between_attempts=None,
+    ) -> None:
         """Fusion failover + log retirement + epoch alignment + handover.
 
         ``arm_points`` crash the failover itself, one attempt per point
         (a failover storm); each crashed attempt's MemSan actor is
         inherited by the next, and the final attempt must converge.
+        ``between_attempts(attempt)`` runs after each *crashed* attempt —
+        the sharded-failover scenario uses it to prove the rest of the
+        fleet keeps serving while one shard's recovery is wedged.
         """
         node = self.setup.nodes[victim]
         node.engine.crash()
@@ -358,12 +372,7 @@ class _Fleet:
                         write_locked_pages=sorted(node.write_locks_held),
                         read_locked_pages=sorted(node.read_locks_held),
                     )
-                    retired = retire_log(
-                        self.setup.page_store,
-                        node.engine.redo_log,
-                        meter,
-                        self.setup.config,
-                    )
+                    retired = self._retire_dead_log(node, meter)
             except InjectedCrash:
                 self.injector.disarm()
                 if spans is not None:
@@ -373,6 +382,8 @@ class _Fleet:
                     node=node.node_id, attempt=attempt,
                 )
                 self._advance_ns(meter.ns)
+                if between_attempts is not None:
+                    between_attempts(attempt)
                 continue
             self.injector.disarm()
             break
@@ -401,6 +412,31 @@ class _Fleet:
         self.timeline.event(
             "failover_done", self.sim.now, node=node.node_id, attempts=attempt
         )
+
+    def _retire_dead_log(self, node: Any, meter: AccessMeter) -> int:
+        """Retire the dead node's log — shard by shard when the fusion
+        tier is sharded, so each shard's failover hardens only the pages
+        it owns (a crash mid-retirement reruns one shard's slice; the
+        union over shards equals a full unsharded retirement)."""
+        fusion = self.setup.fusion
+        shards = getattr(fusion, "shards", None)
+        if shards is None:
+            return retire_log(
+                self.setup.page_store,
+                node.engine.redo_log,
+                meter,
+                self.setup.config,
+            )
+        retired = 0
+        for index in range(len(shards)):
+            retired += retire_log(
+                self.setup.page_store,
+                node.engine.redo_log,
+                meter,
+                self.setup.config,
+                page_filter=lambda p, i=index: fusion.owner_index(p) == i,
+            )
+        return retired
 
     def probe_write(self, victim: int) -> None:
         """The ring successor updates the dead node's in-flight key —
@@ -501,7 +537,9 @@ class _Fleet:
         sim.run_process(waiter())
 
 
-def _run_scenario(name: str, seed: int, n_nodes: int, rows: int, body) -> FleetResult:
+def _run_scenario(
+    name: str, seed: int, n_nodes: int, rows: int, body, n_shards: int = 1
+) -> FleetResult:
     """Install the full monitoring stack, run ``body``, check everything.
 
     Installs whichever of MemSan / Tracer / SpanTracer is not already
@@ -515,7 +553,7 @@ def _run_scenario(name: str, seed: int, n_nodes: int, rows: int, body) -> FleetR
     ms = MemSan() if memsan_active() is None else None
     with ms or nullcontext():
         with tracer or nullcontext(), span_tracer or nullcontext(), injector:
-            fleet = _Fleet(name, n_nodes, rows, seed, injector)
+            fleet = _Fleet(name, n_nodes, rows, seed, injector, n_shards=n_shards)
             if ms is not None:
                 ms.watch_setup(fleet.setup)
             detail = body(fleet) or {}
@@ -549,6 +587,7 @@ def run_rolling_crash(
     rows: int = 240,
     rounds_between: int = 2,
     keys_per_node: int = 3,
+    n_shards: int = 1,
 ) -> FleetResult:
     """Crash ``n_nodes - 1`` primaries one after another while the op
     stream keeps flowing, driven entirely by a :class:`FaultSchedule`."""
@@ -578,7 +617,9 @@ def run_rolling_crash(
         fleet.verify()
         return {"live_nodes": len(fleet.driver.live), "ops_run": fleet.driver.ops_run}
 
-    result = _run_scenario("rolling-crash", seed, n_nodes, rows, body)
+    result = _run_scenario(
+        "rolling-crash", seed, n_nodes, rows, body, n_shards=n_shards
+    )
     if result.failovers != n_nodes - 1:
         raise FleetOracleError(
             f"expected {n_nodes - 1} failovers, saw {result.failovers}"
@@ -714,6 +755,8 @@ def run_failover_storm(
         "pagestore.write_page",
         "fusion.failover.released",
     ),
+    n_nodes: int = 2,
+    n_shards: int = 1,
 ) -> FleetResult:
     """Crash-during-failover, repeatedly: the writer dies mid-flush with
     its release RPC unsent, then each failover attempt dies at the next
@@ -724,16 +767,18 @@ def run_failover_storm(
 
     def body(fleet: _Fleet) -> dict[str, Any]:
         tl, sim = fleet.timeline, fleet.sim
-        tl.begin_phase("warmup", "up", sim.now, live=2)
+        tl.begin_phase("warmup", "up", sim.now, live=n_nodes)
         fleet.partition_writes(keys_per_node=3)
-        tl.begin_phase("healthy", "up", sim.now, live=2)
+        tl.begin_phase("healthy", "up", sim.now, live=n_nodes)
         fleet.pump(fleet.mixed_ops(2))
         fleet.crash_node(0, "sharing.flush.lines", storm=storm_points)
         fleet.pump(fleet.mixed_ops(1))
         fleet.verify()
         return dict(fleet.last_failover)
 
-    result = _run_scenario("failover-storm", seed, 2, rows, body)
+    result = _run_scenario(
+        "failover-storm", seed, n_nodes, rows, body, n_shards=n_shards
+    )
     expected_attempts = len(storm_points) + 1
     if result.detail.get("attempts") != expected_attempts:
         raise FleetOracleError(
@@ -839,9 +884,102 @@ def run_degraded_mode(seed: int = 19, rows: int = 260) -> FleetResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# Scenario (e): sharded fusion tier — one shard's failover wedges, the
+# rest of the fleet keeps serving
+# ---------------------------------------------------------------------------
+
+
+def run_sharded_failover(
+    seed: int = 23,
+    n_nodes: int = 4,
+    rows: int = 320,
+    n_shards: int = 2,
+) -> FleetResult:
+    """Crash a primary on a sharded fusion tier, then crash the failover
+    coordinator mid-rebuild — inside the victim page's *owning shard* —
+    and prove the fleet keeps serving reads on pages owned by the other
+    shard(s) while that one shard's recovery is wedged. The retry
+    converges, and log retirement runs shard by shard (each shard
+    hardens only the pages it owns; the union equals a full
+    retirement)."""
+
+    def body(fleet: _Fleet) -> dict[str, Any]:
+        tl, sim, setup = fleet.timeline, fleet.sim, fleet.setup
+        tl.begin_phase("warmup", "up", sim.now, live=n_nodes)
+        fleet.partition_writes(keys_per_node=3)
+        tl.begin_phase("healthy", "up", sim.now, live=n_nodes)
+        fleet.pump(fleet.mixed_ops(2))
+
+        # The victim dies mid-flush on its first partition key; that
+        # page's owning shard is the one whose failover will be stormed.
+        victim_key = fleet.write_keys[0][0]
+        victim_shard = setup.fusion.owner_index(fleet.key_leaf[victim_key])
+        served = {"mid_failover_reads": 0}
+
+        def keep_serving(attempt: int) -> None:
+            # Shard `victim_shard`'s recovery just crashed mid-rebuild.
+            # Every page owned by another shard must still serve — its
+            # shard's metadata, directory and locks are untouched.
+            tl.begin_phase(
+                f"shard {victim_shard} wedged (attempt {attempt})",
+                "degraded",
+                sim.now,
+            )
+            for owner in sorted(fleet.write_keys)[1:]:
+                for key in fleet.write_keys[owner]:
+                    leaf = fleet.key_leaf.get(key)
+                    if leaf is None or setup.fusion.owner_index(leaf) == victim_shard:
+                        continue
+                    op = FleetOp(fleet._next_index(), "select", _TABLE, key, owner)
+                    status, _, row = fleet.driver.run_op(op)
+                    if status != "ok":
+                        raise FleetOracleError(
+                            f"healthy shard failed to serve key {key} "
+                            "while another shard's failover was wedged"
+                        )
+                    fleet.note_read(key, row)
+                    tl.count("ok")
+                    served["mid_failover_reads"] += 1
+
+        fleet.crash_node(
+            0,
+            "sharing.flush.lines",
+            storm=("fusion.failover.rebuilt",),
+            between_attempts=keep_serving,
+        )
+        fleet.pump(fleet.mixed_ops(1))
+        fleet.verify()
+        detail = dict(fleet.last_failover)
+        detail.update(served)
+        detail["n_shards"] = setup.n_shards
+        detail["victim_shard"] = victim_shard
+        detail["per_shard_resident"] = [
+            shard.resident_count for shard in setup.fusion_shards
+        ]
+        return detail
+
+    result = _run_scenario(
+        "sharded-failover", seed, n_nodes, rows, body, n_shards=n_shards
+    )
+    if result.detail.get("attempts") != 2:
+        raise FleetOracleError(
+            f"sharded storm should converge on attempt 2, "
+            f"took {result.detail.get('attempts')}"
+        )
+    if result.detail.get("mid_failover_reads", 0) <= 0:
+        raise FleetOracleError(
+            "no reads were served by healthy shards mid-failover"
+        )
+    if len(result.detail.get("per_shard_resident", [])) != n_shards:
+        raise FleetOracleError("fusion tier was not sharded")
+    return result
+
+
 SCENARIOS = {
     "rolling-crash": run_rolling_crash,
     "join-leave": run_join_leave,
     "failover-storm": run_failover_storm,
     "degraded-mode": run_degraded_mode,
+    "sharded-failover": run_sharded_failover,
 }

@@ -85,6 +85,7 @@ class CxlFabric:
         name: str = "cxl0",
         devices: list[CxlMemoryDevice] | None = None,
         config: LatencyConfig | None = None,
+        max_ports: int = 32,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -100,7 +101,17 @@ class CxlFabric:
         self.capacity = sum(device.capacity for device in self.devices)
         if self.capacity > self.MAX_POOL_BYTES:
             raise ValueError("pool exceeds 16 TB switch limit")
-        self.switch = CxlSwitch(sim, f"{name}.sw", self.config.cxl_switch_bandwidth)
+        # ``max_ports`` above the default 32 models a wider switch (more,
+        # narrower ports on the same chip, as shipping CXL 2.0 switches
+        # bifurcate) — the switching-capacity pipe stays the shared
+        # bottleneck, so a bigger fleet still contends for the same
+        # aggregate bandwidth. Port count never buys capacity here.
+        self.switch = CxlSwitch(
+            sim,
+            f"{name}.sw",
+            self.config.cxl_switch_bandwidth,
+            max_ports=max_ports,
+        )
         for device in self.devices:
             self.switch.connect(device.name)
         self._region: MemoryRegion | None = None

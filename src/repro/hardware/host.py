@@ -194,12 +194,18 @@ class Cluster:
         sim: Simulator,
         config: Optional[LatencyConfig] = None,
         with_fabric: bool = True,
+        switch_ports: int = 32,
     ) -> None:
         self.sim = sim
         self.config = config or LatencyConfig()
+        self.switch_ports = switch_ports
         self.fabrics: list[CxlFabric] = []
         if with_fabric:
-            self.fabrics.append(CxlFabric(sim, "cxl0", config=self.config))
+            self.fabrics.append(
+                CxlFabric(
+                    sim, "cxl0", config=self.config, max_ports=switch_ports
+                )
+            )
         self.hosts: dict[str, Host] = {}
         self._remote_regions: dict[str, MemoryRegion] = {}
 
@@ -211,7 +217,10 @@ class Cluster:
     def add_fabric(self, name: Optional[str] = None) -> CxlFabric:
         """Add another independent switch + memory-box pool."""
         fabric = CxlFabric(
-            self.sim, name or f"cxl{len(self.fabrics)}", config=self.config
+            self.sim,
+            name or f"cxl{len(self.fabrics)}",
+            config=self.config,
+            max_ports=self.switch_ports,
         )
         self.fabrics.append(fabric)
         return fabric

@@ -1,0 +1,89 @@
+"""Docs-consistency checker: extraction, validation, and the real docs.
+
+The last class is the actual gate: the three runbook documents must
+contain zero stale invocations — the same check CI runs via
+``python -m repro.analysis docs``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.docs_cli import check_files, check_text, extract_invocations
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestExtraction:
+    def test_fenced_block_lines_with_comments(self):
+        text = "```bash\npython -m repro.bench fig7 --counters   # export\n```\n"
+        assert extract_invocations(text) == [
+            (2, "python -m repro.bench fig7 --counters")
+        ]
+
+    def test_inline_span_wrapping_across_a_newline(self):
+        text = (
+            "replay it with `python -m repro.parallel sweep\n"
+            "--scenario workload --point mtr.write.applied --hit 3` later"
+        )
+        assert extract_invocations(text) == [
+            (
+                1,
+                "python -m repro.parallel sweep --scenario workload "
+                "--point mtr.write.applied --hit 3",
+            )
+        ]
+
+    def test_prose_without_commands_is_empty(self):
+        assert extract_invocations("nothing `here` at all\n") == []
+
+
+class TestValidation:
+    def test_registered_names_pass(self):
+        text = (
+            "```\n"
+            "python -m repro.bench fig_scale --jobs 4\n"
+            "python -m repro.ha --json sharded-failover\n"
+            "python -m repro.parallel stress --system cxl --seeds 200\n"
+            "python -m repro.analysis docs README.md\n"
+            "```\n"
+        )
+        assert check_text("doc.md", text) == []
+
+    def test_placeholders_are_accepted(self):
+        assert check_text("doc.md", "see `python -m repro.bench <figure>`") == []
+
+    @pytest.mark.parametrize(
+        "command, fragment",
+        [
+            ("python -m repro.bench fig99", "unknown bench experiment"),
+            ("python -m repro.ha not-a-scenario", "unknown ha scenario"),
+            ("python -m repro.ha --jsonx all", "unknown ha scenario flag"),
+            ("python -m repro.parallel sweep --scenario nope", "unknown sweep scenario"),
+            ("python -m repro.parallel lint", "needs a 'sweep' or 'stress'"),
+            ("python -m repro.oops lint", "unknown CLI module"),
+        ],
+    )
+    def test_drift_is_caught(self, command, fragment):
+        findings = check_text("doc.md", f"```\n{command}\n```\n")
+        assert len(findings) == 1
+        assert fragment in findings[0].problem
+
+
+class TestRealDocs:
+    def test_runbook_documents_are_consistent(self):
+        paths = [
+            str(REPO / name)
+            for name in ("README.md", "EXPERIMENTS.md", "PERFORMANCE.md")
+        ]
+        findings = check_files(paths)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_docs_actually_document_the_clis(self):
+        # The gate is meaningless on empty input: the three documents
+        # must keep a healthy population of runnable commands.
+        total = 0
+        for name in ("README.md", "EXPERIMENTS.md", "PERFORMANCE.md"):
+            text = (REPO / name).read_text(encoding="utf-8")
+            total += len(extract_invocations(text))
+        assert total >= 20

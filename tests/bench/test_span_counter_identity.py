@@ -7,8 +7,9 @@ point-update slice the two views must agree exactly, or one of them is
 double- (or under-) accounting:
 
 * CXL: the summed ``nbytes`` of ``cache_flush`` spans equals the
-  ``sharing.flush_bytes`` trace counter (dirty lines × 64 B), and one
-  ``rpc``/``request_page`` span exists per ``fusion_rpcs`` meter count.
+  ``sharing.flush_bytes`` trace counter (dirty lines × 64 B), and the
+  ``rpc`` spans (``request_page`` + ``reshare``) sum to the
+  ``fusion_rpcs`` meter count.
 * RDMA: the summed ``nbytes`` of ``cache_flush`` spans equals the
   ``rdma.write_bytes`` trace counter (whole 16 KB pages), and one
   ``rpc``/``register`` span exists per ``dbp_rpcs`` meter count.
@@ -65,9 +66,14 @@ def test_cxl_flush_and_rpc_spans_match_counters():
     assert flush_bytes > 0
     assert _span_nbytes(spans, "cache_flush") == flush_bytes
 
+    # Every fusion RPC carries a span: page fetches and directory
+    # reshares are the two RPC kinds the node issues on this slice.
     fusion_rpcs = result.counters.get("fusion_rpcs", 0)
     assert fusion_rpcs > 0
-    assert _span_count(spans, "rpc", "request_page") == fusion_rpcs
+    requests = _span_count(spans, "rpc", "request_page")
+    reshares = _span_count(spans, "rpc", "reshare")
+    assert requests > 0 and reshares > 0
+    assert requests + reshares == fusion_rpcs
 
 
 def test_rdma_flush_and_rpc_spans_match_counters():

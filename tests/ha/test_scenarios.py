@@ -20,6 +20,7 @@ from repro.ha.scenarios import (
     run_failover_storm,
     run_join_leave,
     run_rolling_crash,
+    run_sharded_failover,
 )
 
 
@@ -41,6 +42,11 @@ def storm():
 @pytest.fixture(scope="module")
 def degraded():
     return run_degraded_mode()
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    return run_sharded_failover()
 
 
 class TestRollingCrash:
@@ -128,13 +134,38 @@ class TestDegradedMode:
         assert degraded.oracle_checks > 0
 
 
+class TestShardedFailover:
+    def test_storm_wedged_one_shard_then_converged(self, sharded):
+        assert sharded.detail["attempts"] == 2
+        assert sharded.failovers == 1
+        assert sharded.detail["n_shards"] == 2
+        assert sharded.memsan_reports == 0
+
+    def test_healthy_shard_served_reads_mid_failover(self, sharded):
+        assert sharded.detail["mid_failover_reads"] > 0
+        # The wedged phase is degradation, never downtime accounting.
+        kinds = [p.kind for p in sharded.timeline.phases]
+        assert "degraded" in kinds
+
+    def test_metadata_actually_sharded(self, sharded):
+        resident = sharded.detail["per_shard_resident"]
+        assert len(resident) == 2
+        # Both shards own live pages — the hash spread the dataset.
+        assert all(count > 0 for count in resident)
+
+    def test_per_shard_retirement_unions_to_full(self, sharded):
+        assert sharded.detail["pages_retired"] >= 1
+        assert sharded.detail["pages_rebuilt"] >= 1
+
+
 class TestDeterminism:
-    def test_registry_covers_all_four_scenarios(self):
+    def test_registry_covers_all_scenarios(self):
         assert sorted(SCENARIOS) == [
             "degraded-mode",
             "failover-storm",
             "join-leave",
             "rolling-crash",
+            "sharded-failover",
         ]
 
     def test_same_seed_same_timeline(self, rolling):

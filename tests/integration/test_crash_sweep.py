@@ -122,6 +122,18 @@ class TestFailoverStormSweep:
             "recovery.retire.page",  # log retirement is re-entrant too
         } <= points
 
+    def test_sharded_coordinates_converge_too(self):
+        # The sharded-fusion coordinate of the storm: the wedged attempt
+        # is confined to the owning shard, the other shard must serve a
+        # read mid-storm, and retirement runs shard by shard — still
+        # oracle-exact and MemSan-clean at every coordinate.
+        report = sweep_failover_storm_points(
+            seed=SEED, n_shards=2, limit=8
+        )
+        report.raise_for_failures()
+        assert report.outcomes, "sharded storm sweep ran no coordinates"
+        assert "fusion.failover.rebuilt" in set(report.distinct_points)
+
 
 def _recover_traced(ctx):
     """Crash-free recovery plumbing with the tracer counting its work."""

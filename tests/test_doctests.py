@@ -10,7 +10,10 @@ import doctest
 
 import pytest
 
+import repro.bench.scale
 import repro.core.block
+import repro.core.directory
+import repro.core.shard_router
 import repro.faults.injector
 import repro.hardware.cache
 import repro.hardware.memory
@@ -28,6 +31,9 @@ DOCUMENTED_MODULES = [
     repro.hardware.memory,
     repro.hardware.cache,
     repro.core.block,
+    repro.core.directory,
+    repro.core.shard_router,
+    repro.bench.scale,
     repro.obs.trace,
     repro.obs.counters,
     repro.obs.spans,
