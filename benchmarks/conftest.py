@@ -61,6 +61,40 @@ def span_tracer():
 
 
 @pytest.fixture(scope="session", autouse=True)
+def _bench_metrics():
+    """Install a MetricsPipeline when --metrics asked for one.
+
+    Drivers anchor the pipeline to their simulator at every run start
+    (a fresh measurement epoch per experiment), so one session-wide
+    pipeline can follow many back-to-back simulations. Per-point
+    harnesses that want a single-simulation timeline (``fig_scale``,
+    the HA scenarios) install their own fresh pipeline instead when
+    none is active.
+    """
+    if os.environ.get("REPRO_BENCH_METRICS") != "1":
+        yield None
+        return
+    from repro.obs import metrics
+
+    pipeline = metrics.active()
+    if pipeline is not None:  # the caller already installed one
+        yield pipeline
+        return
+    pipeline = metrics.MetricsPipeline()
+    metrics.install(pipeline)
+    try:
+        yield pipeline
+        print(
+            f"[metrics] {pipeline.scrapes} scrape(s), "
+            f"{pipeline.samples_published} sample(s) across "
+            f"{len(pipeline.all_series())} series, "
+            f"{pipeline.total_dropped} dropped"
+        )
+    finally:
+        metrics.uninstall(pipeline)
+
+
+@pytest.fixture(scope="session", autouse=True)
 def _bench_memsan():
     """Install CXL-MemSan for the whole run when --memsan asked for one.
 

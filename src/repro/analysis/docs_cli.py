@@ -140,6 +140,7 @@ def _check_bench(tokens: list[str]) -> Optional[str]:
         "--quick": False,
         "--min-speedup": True,
         "--out": True,
+        "--metrics": False,
     }
     return _scan(tokens, names, flags, "bench experiment")
 
@@ -188,6 +189,19 @@ def _check_ha(tokens: list[str]) -> Optional[str]:
     return _scan(tokens, names, flags, "ha scenario")
 
 
+def _check_obs(tokens: list[str]) -> Optional[str]:
+    from ..ha.scenarios import SCENARIOS
+
+    names = set(SCENARIOS) | {"all"}
+    flags = {
+        "--seed": True,
+        "--interval-ns": True,
+        "--quick": False,
+        "--json": False,
+    }
+    return _scan(tokens, names, flags, "obs scenario")
+
+
 def _check_analysis(tokens: list[str]) -> Optional[str]:
     if not tokens or tokens[0] not in ("lint", "docs"):
         return "repro.analysis needs a 'lint' or 'docs' subcommand"
@@ -198,6 +212,7 @@ _VALIDATORS: dict[str, Callable[[list[str]], Optional[str]]] = {
     "repro.bench": _check_bench,
     "repro.parallel": _check_parallel,
     "repro.ha": _check_ha,
+    "repro.obs": _check_obs,
     "repro.analysis": _check_analysis,
 }
 

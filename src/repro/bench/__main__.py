@@ -83,6 +83,12 @@ def main(argv: list[str]) -> int:
     # the warm-attach vs recovery comparison) alongside the selection.
     with_ha = "--ha" in argv
     argv = [arg for arg in argv if arg != "--ha"]
+    # --metrics: install a live MetricsPipeline inside the benchmark
+    # process (via REPRO_BENCH_METRICS, consumed by
+    # benchmarks/conftest.py and per-point harnesses); experiments emit
+    # canonical JSON metric timelines plus ASCII sparkline dashboards.
+    with_metrics = "--metrics" in argv
+    argv = [arg for arg in argv if arg != "--metrics"]
     # --jobs N: shard the selected experiment files across N concurrent
     # pytest processes (0 = one per core). Each experiment file is
     # self-contained, so file-level sharding preserves every number;
@@ -107,7 +113,7 @@ def main(argv: list[str]) -> int:
         for name, filename in EXPERIMENTS.items():
             print(f"  {name:10s} benchmarks/{filename}")
         print(f"  {'perf':10s} wall-clock perf harness -> BENCH_perf.json")
-        print("\nusage: python -m repro.bench [--counters] [--spans] [--memsan] [--ha] [--jobs N] <experiment>... | all")
+        print("\nusage: python -m repro.bench [--counters] [--spans] [--memsan] [--ha] [--metrics] [--jobs N] <experiment>... | all")
         print("       python -m repro.bench perf [--quick] [--min-speedup X] [--jobs N] [--out PATH]")
         return 0
     names = list(EXPERIMENTS) if argv == ["all"] else argv
@@ -129,6 +135,8 @@ def main(argv: list[str]) -> int:
         env["REPRO_BENCH_SPANS"] = "1"
     if with_memsan or "memsan" in names:
         env["REPRO_BENCH_MEMSAN"] = "1"
+    if with_metrics:
+        env["REPRO_BENCH_METRICS"] = "1"
     # fig_scale parallelizes *within* its file (one work unit per scale
     # point); hand it the --jobs value since file-level sharding cannot
     # split a single experiment.

@@ -52,6 +52,7 @@ __all__ = [
     "build_sharing_setup",
     "add_sharing_node",
     "counter_snapshot",
+    "register_metric_sources",
     "reset_meters",
     "SYSTEMS",
 ]
@@ -680,3 +681,68 @@ def counter_snapshot(setup, tracer=None) -> dict[str, float]:
         for name, value in tracer.counters.snapshot().items():
             add(name, value)
     return dict(sorted(snap.items()))
+
+
+def register_metric_sources(setup, pipeline=None) -> int:
+    """Wire a setup's cumulative mechanism counters into the metrics
+    pipeline as windowed-rate counter sources.
+
+    Covers the same surfaces as :func:`counter_snapshot`, but live: each
+    scrape turns the cumulative totals into per-window deltas, labeled
+    by node (engine meters) or shard (fusion servers, including their
+    sharer-directory churn). No-op (returns 0) when no pipeline is
+    installed; returns the number of sources registered otherwise.
+    """
+    if pipeline is None:
+        from ..obs.metrics import active as _metrics_active
+
+        pipeline = _metrics_active()
+    if pipeline is None:
+        return 0
+    registered = 0
+    contexts = getattr(setup, "instances", None)
+    if contexts is not None:
+        engines = [(f"inst{i}", ictx.engine) for i, ictx in enumerate(contexts)]
+    else:
+        engines = [
+            (node.node_id, node.engine) for node in getattr(setup, "nodes", [])
+        ]
+    for name, engine in engines:
+        pipeline.add_counter_source(
+            "meter.", lambda m=engine.meter: m.counters, node=name
+        )
+        registered += 1
+
+    fusion = getattr(setup, "fusion", None)
+    if fusion is not None:
+        shards = list(getattr(setup, "fusion_shards", [])) or [fusion]
+        for index, shard in enumerate(shards):
+
+            def snap(s=shard) -> dict[str, float]:
+                stats = {
+                    "rpcs": float(s.rpcs),
+                    "pages_loaded": float(s.pages_loaded),
+                    "pages_recycled": float(s.pages_recycled),
+                    "invalidations_pushed": float(s.invalidations_pushed),
+                    "reshares": float(getattr(s, "reshares", 0)),
+                }
+                directory = getattr(s, "directory", None)
+                if directory is not None:
+                    for key, value in directory.stats().items():
+                        stats[f"directory_{key}"] = value
+                return stats
+
+            pipeline.add_counter_source("fusion.", snap, shard=str(index))
+            registered += 1
+
+    dbp_server = getattr(setup, "dbp_server", None)
+    if dbp_server is not None:
+        pipeline.add_counter_source(
+            "dbp.",
+            lambda d=dbp_server: {
+                "rpcs": float(d.rpcs),
+                "invalidation_messages": float(d.invalidation_messages),
+            },
+        )
+        registered += 1
+    return registered

@@ -468,6 +468,45 @@ def bench_memsan_overhead(n_accesses: int) -> tuple[float, float]:
     return off, n_accesses / elapsed
 
 
+def bench_metrics_overhead(n_ops: int) -> tuple[float, float]:
+    """(metrics-off, metrics-on) instrumented ops/second.
+
+    The "off" side is the hot-path discipline every instrumented module
+    uses when no pipeline is installed — one global load plus a None
+    check per op, nothing else. The "on" side installs a pipeline and
+    pays the full live-telemetry price per op: a labeled counter add, a
+    latency observation, and a ``maybe_scrape`` against an advancing
+    synthetic clock that crosses a scrape-grid boundary every 16 ops.
+    The ``disabled_speedup`` gate (off/on) pins the contract that an
+    uninstalled pipeline costs (nearly) nothing relative to scraping.
+    """
+    from ..obs.metrics import MetricsPipeline
+    from ..obs.metrics import active as metrics_active
+
+    start = time.perf_counter()
+    for _ in range(n_ops):
+        mp = metrics_active()
+        if mp is not None:  # pragma: no cover - nothing installed here
+            mp.count("perf.ops", 1.0)
+    off = n_ops / (time.perf_counter() - start)
+
+    with MetricsPipeline() as pipeline:
+        now = 0.0
+        step = pipeline.scrape_interval_ns / 16.0
+        start = time.perf_counter()
+        for i in range(n_ops):
+            mp = metrics_active()
+            if mp is not None:
+                now += step
+                mp.count("perf.ops", 1.0, worker="w0")
+                mp.observe("perf.latency_ns", float(i & 4095), worker="w0")
+                mp.maybe_scrape(now)
+        elapsed = time.perf_counter() - start
+        assert pipeline.scrapes > 0
+        on = n_ops / elapsed
+    return off, on
+
+
 def bench_fig7_slice() -> dict:
     """End-to-end slice of the figure-7 pooling benchmark (CXL system)."""
     from ..workloads.driver import PoolingDriver
@@ -604,6 +643,7 @@ def run_perf(quick: bool = False, jobs: int = 0) -> dict:
     tr_off, tr_on = bench_tracer_overhead(n_accesses)
     sp_off, sp_on = bench_spans_overhead(n_accesses)
     msn_off, msn_on = bench_memsan_overhead(n_accesses)
+    mt_off, mt_on = bench_metrics_overhead(n_accesses)
     sweep_parallel = bench_sweep_parallel(limit=3 if quick else 8, jobs=jobs)
     fig7 = bench_fig7_slice()
 
@@ -647,6 +687,12 @@ def run_perf(quick: bool = False, jobs: int = 0) -> dict:
             "overhead_pct": round((msn_off / msn_on - 1.0) * 100, 1),
             "disabled_speedup": round(msn_off / ma_ref, 3),
         },
+        "metrics_overhead": {
+            "metrics_off_per_sec": round(mt_off),
+            "metrics_on_per_sec": round(mt_on),
+            "overhead_pct": round((mt_off / mt_on - 1.0) * 100, 1),
+            "disabled_speedup": round(mt_off / mt_on, 3),
+        },
         "sweep_parallel": sweep_parallel,
         "fig7_slice": fig7,
         "notes": (
@@ -671,6 +717,10 @@ BURST_MIN_SPEEDUP = 2.0
 # machines with enough cores to physically show it.
 PARALLEL_MIN_SPEEDUP = 2.0
 PARALLEL_GATE_MIN_CORES = 4
+# An uninstalled metrics pipeline (global load + None check per op)
+# must be at least this much faster than installed-and-scraping —
+# i.e. disabled telemetry stays (nearly) free.
+METRICS_DISABLED_MIN_SPEEDUP = 1.5
 
 
 def main(argv: list[str]) -> int:
@@ -718,6 +768,12 @@ def main(argv: list[str]) -> int:
         f"  {'memsan':16s} off {msn['memsan_off_per_sec']:,}/s  "
         f"on {msn['memsan_on_per_sec']:,}/s  (+{msn['overhead_pct']}%)  "
         f"disabled {msn['disabled_speedup']:.2f}x vs pre-PR reference"
+    )
+    mt = report["metrics_overhead"]
+    print(
+        f"  {'metrics':16s} off {mt['metrics_off_per_sec']:,}/s  "
+        f"on {mt['metrics_on_per_sec']:,}/s  (+{mt['overhead_pct']}%)  "
+        f"disabled {mt['disabled_speedup']:.2f}x vs installed-and-scraping"
     )
     sw = report["sweep_parallel"]
     print(
@@ -809,6 +865,20 @@ def main(argv: list[str]) -> int:
     print(
         f"OK: memsan-disabled metered access {memsan_disabled:.2f}x >= "
         f"{min_speedup:.2f}x gate"
+    )
+    metrics_disabled = report["metrics_overhead"]["disabled_speedup"]
+    if metrics_disabled < METRICS_DISABLED_MIN_SPEEDUP:
+        print(
+            f"FAIL: metrics-disabled ops {metrics_disabled:.2f}x is below "
+            f"the {METRICS_DISABLED_MIN_SPEEDUP:.2f}x gate — the uninstalled "
+            f"pipeline check costs too much relative to live scraping "
+            f"(see PERFORMANCE.md)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: metrics-disabled ops {metrics_disabled:.2f}x >= "
+        f"{METRICS_DISABLED_MIN_SPEEDUP:.2f}x gate"
     )
     return 0
 

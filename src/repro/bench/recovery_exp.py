@@ -20,6 +20,7 @@ from ..db.constants import PAGE_SIZE
 from ..db.engine import Engine
 from ..hardware.cache import LineCacheModel
 from ..hardware.memory import WindowedMemory
+from ..obs.metrics import suspended as metrics_suspended
 from ..sim.settle import ChargeSettler
 from ..sim.stats import TimeSeries
 from ..workloads.driver import InstanceCtx, PoolingDriver
@@ -63,7 +64,29 @@ def run_recovery_experiment(
     bucket_ms: int = 5,
     seed: int = 7,
 ) -> RecoveryTimeline:
-    """Run one scheme × workload crash-recovery timeline."""
+    """Run one scheme × workload crash-recovery timeline.
+
+    Runs with any installed metrics pipeline suspended: this experiment
+    owns a private simulator, and publishing its clock into a pipeline
+    anchored to a caller's simulation (the join-leave scenario's
+    baselines) would interleave two timelines in one series.
+    """
+    with metrics_suspended():
+        return _run_recovery_experiment(
+            scheme, mix, rows, workers, phase1_txns, phase2_txns, bucket_ms, seed
+        )
+
+
+def _run_recovery_experiment(
+    scheme: str,
+    mix: str,
+    rows: int,
+    workers: int,
+    phase1_txns: int,
+    phase2_txns: int,
+    bucket_ms: int,
+    seed: int,
+) -> RecoveryTimeline:
     if scheme not in RECOVERY_SCHEMES:
         raise ValueError(f"unknown recovery scheme {scheme!r}")
     system = RECOVERY_SCHEMES[scheme]

@@ -15,7 +15,9 @@ __all__ = [
     "format_series",
     "format_counters",
     "format_span_breakdown",
+    "format_metrics_dashboard",
     "dump_counters_json",
+    "dump_metrics_json",
     "improvement_pct",
     "banner",
 ]
@@ -117,6 +119,58 @@ def format_span_breakdown(breakdown, title: str = "span latency breakdown") -> s
         f"coverage={100 * breakdown.coverage:.2f}%"
     )
     return banner(title) + "\n" + table + "\n" + footer
+
+
+def format_metrics_dashboard(
+    pipeline, title: str = "metrics dashboard", max_series: int = 40
+) -> str:
+    """Render a scraped :class:`~repro.obs.metrics.MetricsPipeline` as
+    per-series ASCII sparklines.
+
+    One row per series (sorted by id, capped at ``max_series``):
+    sparkline over the sampled window, last value, peak, and sample
+    count. The header states the scrape interval and totals, so a
+    dashboard is self-describing about its own resolution.
+    """
+    blocks = " ▁▂▃▄▅▆▇█"
+    all_series = pipeline.all_series()
+    lines = [
+        banner(title),
+        (
+            f"interval={pipeline.scrape_interval_ns / 1e3:.0f} us  "
+            f"scrapes={pipeline.scrapes}  "
+            f"samples={pipeline.samples_published}  "
+            f"series={len(all_series)}  "
+            f"dropped={pipeline.total_dropped}"
+        ),
+    ]
+    width = max((len(series.id) for series in all_series[:max_series]), default=0)
+    for series in all_series[:max_series]:
+        values = series.values()
+        peak = max((abs(v) for v in values), default=0.0)
+        chars = "".join(
+            blocks[min(8, int(9 * abs(value) / peak))] if peak else " "
+            for value in values[-60:]
+        )
+        last = values[-1] if values else 0.0
+        lines.append(
+            f"{series.id.ljust(width)} [{chars}] "
+            f"last={_count_cell(last)} peak={_count_cell(peak)} n={len(values)}"
+        )
+    if len(all_series) > max_series:
+        lines.append(f"... {len(all_series) - max_series} more series elided")
+    return "\n".join(lines)
+
+
+def dump_metrics_json(path, pipeline) -> None:
+    """Write the pipeline's canonical JSON timeline to ``path``.
+
+    Delegates to :meth:`~repro.obs.metrics.MetricsPipeline.to_json`
+    (sorted keys, fixed indent, trailing newline) so serial and
+    ``--jobs`` runs of the same simulation diff byte-identical.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(pipeline.to_json())
 
 
 def _ns_cell(ns: float) -> str:

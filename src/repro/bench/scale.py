@@ -33,12 +33,15 @@ processes under ``python -m repro.bench fig_scale --jobs N``.
 
 from __future__ import annotations
 
+import os
 from contextlib import nullcontext
 from typing import Optional
 
 from ..analysis.memsan import MemSan
 from ..analysis.memsan import active as memsan_active
 from ..obs.invariants import assert_span_invariants, assert_trace_invariants
+from ..obs.metrics import MetricsPipeline
+from ..obs.metrics import active as metrics_active
 from ..obs.spans import SpanTracer
 from ..obs.spans import active as spans_active
 from ..obs.trace import Tracer
@@ -48,7 +51,7 @@ from ..sim.rng import WorkloadRng
 from ..workloads.base import Op
 from ..workloads.driver import SharingDriver
 from ..workloads.sysbench import SysbenchWorkload
-from .harness import build_sharing_setup, counter_snapshot
+from .harness import build_sharing_setup, counter_snapshot, register_metric_sources
 
 __all__ = [
     "SCALE_NODES",
@@ -171,33 +174,47 @@ def run_scale_point(
     tracer = Tracer() if obs_active() is None else None
     span_tracer = SpanTracer() if spans_active() is None else None
     ms: Optional[MemSan] = MemSan() if memsan_active() is None else None
+    # REPRO_BENCH_METRICS=1 (the `--metrics` flag) samples every point
+    # on the sim-time scrape grid; each point owns a fresh pipeline so
+    # serial and --jobs runs publish identical per-point timelines.
+    pipeline = (
+        MetricsPipeline()
+        if os.environ.get("REPRO_BENCH_METRICS") and metrics_active() is None
+        else None
+    )
     with ms or nullcontext():
         with tracer or nullcontext(), span_tracer or nullcontext():
-            workload = SysbenchWorkload(rows=rows, n_nodes=n_nodes)
-            setup = build_sharing_setup(
-                system, n_nodes, workload, seed=seed, n_shards=n_shards
-            )
-            if ms is not None:
-                ms.watch_setup(setup)
-            driver = SharingDriver(
-                setup.sim,
-                setup.nodes,
-                setup.hosts,
-                make_scale_txn_fn(n_nodes, rows),
-                shared_pct=100.0,
-                rng=WorkloadRng(seed=seed),
-                workers_per_node=workers_per_node,
-                warmup_txns=1,
-                measure_txns=measure_txns,
-            )
-            result = driver.run()
-            counters = counter_snapshot(setup)
+            with pipeline or nullcontext():
+                workload = SysbenchWorkload(rows=rows, n_nodes=n_nodes)
+                setup = build_sharing_setup(
+                    system, n_nodes, workload, seed=seed, n_shards=n_shards
+                )
+                if ms is not None:
+                    ms.watch_setup(setup)
+                register_metric_sources(setup)
+                driver = SharingDriver(
+                    setup.sim,
+                    setup.nodes,
+                    setup.hosts,
+                    make_scale_txn_fn(n_nodes, rows),
+                    shared_pct=100.0,
+                    rng=WorkloadRng(seed=seed),
+                    workers_per_node=workers_per_node,
+                    warmup_txns=1,
+                    measure_txns=measure_txns,
+                )
+                result = driver.run()
+                counters = counter_snapshot(setup)
+                if pipeline is not None:
+                    pipeline.flush(setup.sim.now)
     if tracer is not None:
         assert_trace_invariants(tracer)
     if span_tracer is not None:
         assert_span_invariants(span_tracer)
     if ms is not None:
         ms.check()
+    if pipeline is not None:
+        pipeline.check_consistent()
     writes = max(1.0, counters.get("lock.write_acquires", 0.0))
     if system == "cxl":
         invalidations = counters.get("fusion_stats.invalidations_pushed", 0.0)
@@ -219,6 +236,15 @@ def run_scale_point(
         "lines_flushed": counters.get("sharing.lines_flushed", 0.0),
         "interconnect_bytes": counters.get("bytes_moved.interconnect", 0.0),
         "memsan_reports": len(ms.reports) if ms is not None else 0,
+        **(
+            {
+                "metrics_scrapes": pipeline.scrapes,
+                "metrics_samples": pipeline.samples_published,
+                "metrics_dropped": pipeline.total_dropped,
+            }
+            if pipeline is not None
+            else {}
+        ),
     }
 
 

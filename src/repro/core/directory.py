@@ -113,3 +113,11 @@ class SharerDirectory:
 
     def page_count(self) -> int:
         return len(self._sharers)
+
+    def membership_count(self) -> int:
+        """Total live (page, node) memberships — the directory's size."""
+        return sum(len(members) for members in self._sharers.values())
+
+    def stats(self) -> dict[str, float]:
+        """Cumulative counters for a metrics counter source."""
+        return {"adds": float(self.adds), "drops": float(self.drops)}

@@ -24,6 +24,7 @@ from ..db.constants import PAGE_SIZE
 from ..faults.injector import active as fault_injector
 from ..faults.injector import crash_point
 from ..hardware.memory import AccessMeter, MemoryRegion
+from ..obs.metrics import active as metrics_active
 from ..obs.trace import active as obs_active
 from ..sim.core import Simulator
 from ..sim.resources import RWLock
@@ -250,6 +251,26 @@ class BufferFusionServer:
                 # coherent mode) have no flag to target, so they are never
                 # directory members.
                 self.directory.add(page_id, node_id)
+            mp = metrics_active()
+            if mp is not None:
+                mp.gauge(
+                    "fusion.resident_pages",
+                    float(len(self._entries)),
+                    service=self.service,
+                )
+                mp.gauge(
+                    "fusion.free_slots", float(len(self._free)), service=self.service
+                )
+                mp.gauge(
+                    "fusion.directory_pages",
+                    float(self.directory.page_count()),
+                    service=self.service,
+                )
+                mp.gauge(
+                    "fusion.directory_members",
+                    float(self.directory.membership_count()),
+                    service=self.service,
+                )
             return self.data_offset_of_slot(entry.slot)
         finally:
             if ms is not None:

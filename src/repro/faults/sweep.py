@@ -63,6 +63,8 @@ from ..hardware.cache import LineCacheModel
 from ..hardware.host import Cluster, Host
 from ..hardware.memory import AccessMeter, WindowedMemory
 from ..obs.invariants import assert_span_invariants, assert_trace_invariants
+from ..obs.metrics import MetricsPipeline
+from ..obs.metrics import active as metrics_active
 from ..obs.spans import SpanTracer
 from ..obs.spans import active as spans_active
 from ..obs.trace import Tracer
@@ -420,6 +422,28 @@ def _sweep_spans():
     return SpanTracer() if spans_active() is None else None
 
 
+def _sweep_metrics():
+    """A metrics pipeline for one sweep coordinate, unless one is installed.
+
+    Every crash-and-recover run doubles as a crash-safe-scrape check: a
+    scrape forced right after the injected crash must observe only
+    complete published samples (never torn half-published state), and
+    the whole timeline must pass :meth:`MetricsPipeline.check_consistent`.
+    """
+    return MetricsPipeline() if metrics_active() is None else None
+
+
+def _crash_scrape(pipeline, now_ns: float) -> None:
+    """Crash semantics for metrics: scrape exactly at the crash point.
+
+    The engine died mid-protocol-step; the pipeline must still hand out
+    a consistent window (publication is a single complete-value
+    assignment, so there is no torn state to observe)."""
+    mp = pipeline if pipeline is not None else metrics_active()
+    if mp is not None:
+        mp.maybe_scrape(now_ns)
+
+
 def _crash_abandon(span_tracer) -> None:
     """Crash semantics for spans: whatever was open can never end."""
     tracer = span_tracer if span_tracer is not None else spans_active()
@@ -439,11 +463,18 @@ def _golden_run(seed: int) -> _GoldenRun:
     injector = FaultInjector(seed=seed)
     tracer = _golden_tracer()
     span_tracer = _sweep_spans()
+    pipeline = _sweep_metrics()
     with tracer or nullcontext(), span_tracer or nullcontext(), injector:
-        model = _run_workload(scenario, model, snapshots, random.Random(seed))
+        with pipeline or nullcontext():
+            model = _run_workload(scenario, model, snapshots, random.Random(seed))
+            mp = pipeline if pipeline is not None else metrics_active()
+            if mp is not None:
+                mp.flush(scenario.sim.now)
     if tracer is not None:
         assert_trace_invariants(tracer)
     _check_spans(span_tracer, allow_abandoned=False)
+    if pipeline is not None:
+        pipeline.check_consistent()
     if _read_contents(scenario.engine) != model:
         raise CrashSweepError("golden run is internally inconsistent")
     return _GoldenRun(list(injector.trace), snapshots, model)
@@ -456,21 +487,27 @@ def _crash_and_recover(
     model = _setup_baseline(scenario)
     injector = FaultInjector(seed=seed).arm(point, hit)
     span_tracer = _sweep_spans()
+    pipeline = _sweep_metrics()
     crashed = False
     try:
-        with span_tracer or nullcontext(), injector:
+        with span_tracer or nullcontext(), pipeline or nullcontext(), injector:
             _run_workload(scenario, model, {}, random.Random(seed))
     except InjectedCrash:
         crashed = True
         _crash_abandon(span_tracer)
+        _crash_scrape(pipeline, scenario.sim.now)
     if not crashed:
         return SweepOutcome(point, hit, False, False, "armed point never fired")
     scenario.engine.crash()
     scenario.host.crash()
     scenario.host.restart()
-    with span_tracer or nullcontext():
+    with span_tracer or nullcontext(), pipeline or nullcontext():
         engine = _recover(scenario)
+        if pipeline is not None:
+            pipeline.flush(scenario.sim.now)
     _check_spans(span_tracer, allow_abandoned=True)
+    if pipeline is not None:
+        pipeline.check_consistent()
     expected = _expected_at(golden.snapshots, scenario.redo.durable_max_lsn)
     actual = _read_contents(engine)
     if actual == expected:

@@ -30,9 +30,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.metrics import active as metrics_active
 from ..sim.latency import LatencyConfig
 
 __all__ = ["BackoffPolicy", "CircuitBreaker"]
+
+# Breaker state as a gauge level: half-open publishes between the two
+# extremes so a dashboard shows the probe phase distinctly.
+_STATE_LEVELS = {"closed": 0.0, "half_open": 0.5, "open": 1.0}
 
 
 @dataclass(frozen=True)
@@ -104,16 +109,28 @@ class CircuitBreaker:
     'closed'
     """
 
-    def __init__(self, failure_threshold: int = 2, cooldown_ns: float = 20_000_000.0):
+    def __init__(
+        self,
+        failure_threshold: int = 2,
+        cooldown_ns: float = 20_000_000.0,
+        name: str = "breaker",
+    ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
         self.failure_threshold = failure_threshold
         self.cooldown_ns = cooldown_ns
+        self.name = name
         self.state = "closed"
         self.opens = 0
         self.probes = 0
         self._consecutive = 0
         self._opened_at_ns = 0.0
+
+    def _set_state(self, state: str) -> None:
+        self.state = state
+        mp = metrics_active()
+        if mp is not None:
+            mp.gauge("ha.breaker_open", _STATE_LEVELS[state], breaker=self.name)
 
     def allows(self, now_ns: float) -> bool:
         """Whether an op may be attempted now; may go half-open."""
@@ -123,7 +140,7 @@ class CircuitBreaker:
             # One probe at a time: further ops stay shed until it lands.
             return False
         if now_ns - self._opened_at_ns >= self.cooldown_ns:
-            self.state = "half_open"
+            self._set_state("half_open")
             self.probes += 1
             return True
         return False
@@ -132,7 +149,7 @@ class CircuitBreaker:
         """An attempted op succeeded; a half-open probe closes the breaker."""
         self._consecutive = 0
         if self.state == "half_open":
-            self.state = "closed"
+            self._set_state("closed")
 
     def on_failure(self, now_ns: float) -> None:
         """An attempted op exhausted its RPC budget."""
@@ -140,6 +157,6 @@ class CircuitBreaker:
         if self.state == "half_open" or self._consecutive >= self.failure_threshold:
             if self.state != "open":
                 self.opens += 1
-            self.state = "open"
+            self._set_state("open")
             self._consecutive = 0
             self._opened_at_ns = now_ns

@@ -39,7 +39,12 @@ from typing import Any, Optional
 
 from ..analysis.memsan import MemSan, scoped_actor
 from ..analysis.memsan import active as memsan_active
-from ..bench.harness import SharingSetup, add_sharing_node, build_sharing_setup
+from ..bench.harness import (
+    SharingSetup,
+    add_sharing_node,
+    build_sharing_setup,
+    register_metric_sources,
+)
 from ..bench.recovery_exp import run_recovery_experiment
 from ..core.fusion import RpcExhaustedError
 from ..core.recovery import retire_log
@@ -47,6 +52,9 @@ from ..faults.injector import FaultInjector, InjectedCrash
 from ..faults.schedule import FaultEvent, FaultSchedule
 from ..hardware.memory import AccessMeter
 from ..obs.invariants import assert_span_invariants, assert_trace_invariants
+from ..obs.metrics import MetricsPipeline
+from ..obs.metrics import active as metrics_active
+from ..obs.slo import HealthTimeline, SLOMonitor, check_alignment
 from ..obs.spans import SpanTracer
 from ..obs.spans import active as spans_active
 from ..obs.trace import Tracer
@@ -86,6 +94,11 @@ class FleetResult:
     failovers: int
     memsan_reports: int
     detail: dict[str, Any] = field(default_factory=dict)
+    # Telemetry extras (additive, default-empty so older constructors
+    # and unpickled results stay valid).
+    alerts: list[dict[str, Any]] = field(default_factory=list)
+    slo: dict[str, Any] = field(default_factory=dict)
+    health: dict[str, Any] = field(default_factory=dict)
 
     def summary_lines(self) -> list[str]:
         lines = self.timeline.summary_lines()
@@ -94,6 +107,34 @@ class FleetResult:
             f"{self.failovers} failover(s), "
             f"{self.memsan_reports} memsan report(s)"
         )
+        if self.slo:
+            good = float(self.slo.get("good_total", 0.0))
+            bad = float(self.slo.get("bad_total", 0.0))
+            served = good + bad
+            ratio = (good / served * 100.0) if served else 100.0
+            lines.append(
+                f"  slo: {ratio:.3f}% good ({bad:.0f} bad / {served:.0f} served), "
+                f"{len(self.alerts)} alert(s)"
+            )
+            for alert in self.alerts:
+                cleared = alert.get("cleared_at_ns")
+                tail = (
+                    f"cleared {cleared / 1e6:.3f} ms"
+                    if cleared is not None
+                    else "STILL FIRING"
+                )
+                lines.append(
+                    f"    alert fired {alert['fired_at_ns'] / 1e6:.3f} ms "
+                    f"(fast x{alert['fast_burn']:.1f}, "
+                    f"slow x{alert['slow_burn']:.1f}), {tail}"
+                )
+        for entity, intervals in sorted(
+            (self.health.get("entities") or {}).items()
+        ):
+            arc = " -> ".join(
+                f"{iv['state']} @{iv['start_ns'] / 1e6:.3f}ms" for iv in intervals
+            )
+            lines.append(f"  health {entity}: {arc}")
         for key, value in sorted(self.detail.items()):
             lines.append(f"  {key}: {value}")
         return lines
@@ -122,6 +163,7 @@ class _Fleet:
         self.sim = self.setup.sim
         self.injector = injector
         self.driver = FleetLoadDriver(self.setup)
+        register_metric_sources(self.setup)
         self.timeline = AvailabilityTimeline(scenario, seed, n_nodes)
         # The oracle: key -> last committed "k" value, fleet-wide.
         self.model: dict[int, int] = {}
@@ -218,6 +260,16 @@ class _Fleet:
                 )
         return ops
 
+    def note(self, result: str, n: int = 1) -> None:
+        """Record an op outcome on the availability timeline *and* as a
+        ``fleet.ops{result=...}`` metric — the single bookkeeping point
+        that keeps the SLO monitor's burn-rate input 1:1 with the
+        timeline counters the scenarios already assert on."""
+        self.timeline.count(result, n)
+        mp = metrics_active()
+        if mp is not None:
+            mp.count("fleet.ops", float(n), result=result)
+
     def pump(self, ops: list[FleetOp], schedule: Optional[FaultSchedule] = None) -> None:
         """Apply ops in order, draining due schedule events first."""
         for op in ops:
@@ -234,7 +286,7 @@ class _Fleet:
                 self.model[op.key] = op.value
             else:
                 self.note_read(op.key, result)
-            self.timeline.count("ok")
+            self.note("ok")
 
     def note_read(self, key: int, row: Any) -> None:
         """Every read doubles as an oracle check once the key is known."""
@@ -293,6 +345,12 @@ class _Fleet:
             f"crash {node.node_id}", "down", self.sim.now,
             node=node.node_id, point=point,
         )
+        mp = metrics_active()
+        if mp is not None:
+            # Wedged from the moment the crash is armed until failover
+            # converges; the health timeline derives per-node state from
+            # this gauge.
+            mp.gauge("ha.failover_inflight", 1.0, node=node.node_id)
         op = FleetOp(self._next_index(), "update", _TABLE, key, victim, "k", value)
         status, target, _ = self.driver.run_op(op)
         self.injector.disarm()
@@ -307,12 +365,14 @@ class _Fleet:
         committed = node.engine.redo_log.durable_max_lsn > pre_durable
         if committed:
             self.model[key] = value
-        self.timeline.count("failed")
+        self.note("failed")
         self.timeline.event(
             "crash_injected", self.sim.now,
             node=node.node_id, point=point, committed=committed,
         )
         self.fail_over(victim, arm_points=storm, between_attempts=between_attempts)
+        if mp is not None:
+            mp.gauge("ha.failover_inflight", 0.0, node=node.node_id)
         self.timeline.begin_phase(
             f"recovered ({len(self.driver.live)} live)", "up", self.sim.now,
             live=len(self.driver.live),
@@ -453,7 +513,7 @@ class _Fleet:
                 f"post-failover write probe on key {key} failed on node{target}"
             )
         self.model[key] = self.next_value
-        self.timeline.count("ok")
+        self.note("ok")
 
     def verify(self) -> None:
         """Read back every key the oracle knows through a live node."""
@@ -489,8 +549,8 @@ class _Fleet:
             # budget so breaker cooldown runs on honest simulated time.
             self._advance_ns(exc.spent_ns)
             breaker.on_failure(self.sim.now)
-            self.timeline.count("failed")
-            self.timeline.count("retried", max(exc.attempts - 1, 0))
+            self.note("failed")
+            self.note("retried", max(exc.attempts - 1, 0))
             self.timeline.event(
                 "rpc_exhausted", self.sim.now,
                 op=exc.op, key=key, attempts=exc.attempts,
@@ -501,7 +561,7 @@ class _Fleet:
         if probe:
             breaker.on_success()
         self.note_read(key, row)
-        self.timeline.count("ok")
+        self.note("ok")
         return row
 
     def degraded_update(
@@ -511,7 +571,7 @@ class _Fleet:
         breaker is open, applied normally otherwise."""
         if not breaker.allows(self.sim.now):
             backlog.append(op)
-            self.timeline.count("shed")
+            self.note("shed")
             return False
         status, _, found = self.driver.run_op(op)
         if status != "ok" or not found:
@@ -519,7 +579,7 @@ class _Fleet:
         assert op.value is not None
         self.model[op.key] = op.value
         breaker.on_success()
-        self.timeline.count("ok")
+        self.note("ok")
         return True
 
     # -- plumbing ---------------------------------------------------------------
@@ -535,6 +595,11 @@ class _Fleet:
             yield sim.timeout(int(ns))
 
         sim.run_process(waiter())
+        # Cooldowns and failover meters elapse time without settling, so
+        # pull scrapes here or alert clearing would stall mid-cooldown.
+        mp = metrics_active()
+        if mp is not None:
+            mp.maybe_scrape(sim.now)
 
 
 def _run_scenario(
@@ -542,22 +607,39 @@ def _run_scenario(
 ) -> FleetResult:
     """Install the full monitoring stack, run ``body``, check everything.
 
-    Installs whichever of MemSan / Tracer / SpanTracer is not already
-    active (so scenarios compose under an outer harness), plus a fresh
-    injector. After the body: trace invariants, span invariants with
-    crash-abandons allowed, and a MemSan sweep must all be clean.
+    Installs whichever of MemSan / Tracer / SpanTracer / MetricsPipeline
+    is not already active (so scenarios compose under an outer harness),
+    plus a fresh injector. After the body: trace invariants, span
+    invariants with crash-abandons allowed, and a MemSan sweep must all
+    be clean — and the SLO monitor's fired alerts must align with the
+    availability timeline (alerts during injected degradation, silence
+    in steady state, everything cleared by the end).
     """
     injector = FaultInjector(seed=seed)
     tracer = Tracer() if obs_active() is None else None
     span_tracer = SpanTracer() if spans_active() is None else None
     ms = MemSan() if memsan_active() is None else None
+    own_pipeline = MetricsPipeline() if metrics_active() is None else None
     with ms or nullcontext():
         with tracer or nullcontext(), span_tracer or nullcontext(), injector:
-            fleet = _Fleet(name, n_nodes, rows, seed, injector, n_shards=n_shards)
-            if ms is not None:
-                ms.watch_setup(fleet.setup)
-            detail = body(fleet) or {}
-            fleet.timeline.end(fleet.sim.now)
+            with own_pipeline or nullcontext():
+                pipeline = metrics_active()
+                assert pipeline is not None
+                monitor = SLOMonitor()
+                monitor.attach(pipeline)
+                try:
+                    fleet = _Fleet(
+                        name, n_nodes, rows, seed, injector, n_shards=n_shards
+                    )
+                    if ms is not None:
+                        ms.watch_setup(fleet.setup)
+                    detail = body(fleet) or {}
+                    fleet.timeline.end(fleet.sim.now)
+                    pipeline.flush(fleet.sim.now)
+                finally:
+                    # A shared outer pipeline outlives this scenario;
+                    # never leave a stale monitor listening on it.
+                    pipeline.remove_listener(monitor.record_window)
     if tracer is not None:
         stats = assert_trace_invariants(tracer)
         detail.setdefault("trace_events", stats.events)
@@ -565,6 +647,19 @@ def _run_scenario(
         assert_span_invariants(span_tracer, allow_abandoned=True)
     if ms is not None:
         ms.check()
+    problems = check_alignment(
+        monitor, fleet.timeline.phases, pipeline.scrape_interval_ns
+    )
+    if problems:
+        raise FleetOracleError(
+            f"{name}: alert/timeline misalignment: " + "; ".join(problems)
+        )
+    health: dict[str, Any] = {}
+    if own_pipeline is not None:
+        # Only a pipeline this run owns end-to-end has single-scenario
+        # series (a shared one mixes stamps from earlier runs).
+        own_pipeline.check_consistent()
+        health = HealthTimeline.derive(own_pipeline).to_dict()
     return FleetResult(
         scenario=name,
         seed=seed,
@@ -573,6 +668,9 @@ def _run_scenario(
         failovers=fleet.failovers,
         memsan_reports=len(ms.reports) if ms is not None else 0,
         detail=detail,
+        alerts=[alert.to_dict() for alert in monitor.alerts],
+        slo=monitor.to_dict(),
+        health=health,
     )
 
 
@@ -681,7 +779,7 @@ def run_join_leave(
             if status != "ok" or target != joiner_index:
                 raise FleetOracleError("joiner failed a warm read")
             fleet.note_read(key, row)
-            tl.count("ok")
+            fleet.note("ok")
         attach_ns = sim.now - join_start
         if setup.fusion.pages_loaded != loaded_before:
             raise FleetOracleError(
@@ -801,7 +899,7 @@ def run_degraded_mode(seed: int = 19, rows: int = 260) -> FleetResult:
 
     def body(fleet: _Fleet) -> dict[str, Any]:
         tl, sim = fleet.timeline, fleet.sim
-        breaker = CircuitBreaker()
+        breaker = CircuitBreaker(name="fusion")
         tl.begin_phase("warmup", "up", sim.now, live=2)
         fleet.partition_writes(keys_per_node=3)
         tl.begin_phase("healthy", "up", sim.now, live=2)
@@ -865,7 +963,7 @@ def run_degraded_mode(seed: int = 19, rows: int = 260) -> FleetResult:
                 raise FleetOracleError(f"backlog drain failed at op {op.index}")
             assert op.value is not None
             fleet.model[op.key] = op.value
-            tl.count("drained")
+            fleet.note("drained")
         tl.begin_phase("recovered", "up", sim.now, live=2)
         fleet.verify()
         return {
@@ -939,15 +1037,22 @@ def run_sharded_failover(
                             "while another shard's failover was wedged"
                         )
                     fleet.note_read(key, row)
-                    tl.count("ok")
+                    fleet.note("ok")
                     served["mid_failover_reads"] += 1
 
+        mp = metrics_active()
+        if mp is not None:
+            # Per-shard health: the victim page's owning shard is wedged
+            # for the whole crash -> stormed-failover -> retry arc.
+            mp.gauge("ha.failover_inflight", 1.0, shard=str(victim_shard))
         fleet.crash_node(
             0,
             "sharing.flush.lines",
             storm=("fusion.failover.rebuilt",),
             between_attempts=keep_serving,
         )
+        if mp is not None:
+            mp.gauge("ha.failover_inflight", 0.0, shard=str(victim_shard))
         fleet.pump(fleet.mixed_ops(1))
         fleet.verify()
         detail = dict(fleet.last_failover)

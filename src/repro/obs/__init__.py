@@ -19,6 +19,12 @@ to. This package makes both first-class:
   summaries of recorded spans.
 * :mod:`repro.obs.invariants` — checkers replaying a trace (protocol
   safety) or a span list (balance/nesting, crash abandonment).
+* :mod:`repro.obs.metrics` — a :class:`MetricsPipeline` of labeled
+  live time series (windowed rates, window-exact percentiles, sampled
+  gauges) scraped on a sim-time interval, same global-hook pattern.
+* :mod:`repro.obs.slo` — :class:`SLOMonitor` multi-window burn-rate
+  alerting and per-entity :class:`HealthTimeline` derivation over the
+  scraped series.
 """
 
 from .counters import CounterRegistry, Histogram
@@ -34,6 +40,24 @@ from .invariants import (
     check_events,
     check_span_invariants,
 )
+from .metrics import (
+    MetricsError,
+    MetricsPipeline,
+    ScrapeWindow,
+    Series,
+    series_id,
+)
+from .metrics import active as metrics_active
+from .metrics import install as install_metrics
+from .metrics import uninstall as uninstall_metrics
+from .slo import (
+    Alert,
+    HealthInterval,
+    HealthTimeline,
+    SLObjective,
+    SLOMonitor,
+    check_alignment,
+)
 from .spans import (
     MECHANISM_KINDS,
     Span,
@@ -46,11 +70,20 @@ from .spans import uninstall as uninstall_spans
 from .trace import TraceEvent, Tracer, active, install, uninstall
 
 __all__ = [
+    "Alert",
     "CounterRegistry",
+    "HealthInterval",
+    "HealthTimeline",
     "Histogram",
     "InvariantViolationError",
     "MECHANISM_KINDS",
     "MechanismBreakdown",
+    "MetricsError",
+    "MetricsPipeline",
+    "SLOMonitor",
+    "SLObjective",
+    "ScrapeWindow",
+    "Series",
     "Span",
     "SpanCheckStats",
     "SpanTracer",
@@ -62,15 +95,20 @@ __all__ = [
     "active",
     "assert_span_invariants",
     "assert_trace_invariants",
+    "check_alignment",
     "check_events",
     "check_span_invariants",
     "install",
+    "install_metrics",
     "install_spans",
+    "metrics_active",
+    "series_id",
     "span_attached",
     "spans_active",
     "summarize",
     "to_chrome_trace",
     "uninstall",
+    "uninstall_metrics",
     "uninstall_spans",
     "write_chrome_trace",
     "write_csv_summary",

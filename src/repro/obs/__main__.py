@@ -1,0 +1,103 @@
+"""CLI: run fleet HA scenarios under the live telemetry pipeline.
+
+::
+
+    python -m repro.obs rolling-crash degraded-mode
+    python -m repro.obs --json all
+    python -m repro.obs --interval-ns 50000 failover-storm
+    python -m repro.obs --quick join-leave   # skip recovery baselines
+
+Each scenario runs with a fresh :class:`~repro.obs.metrics.MetricsPipeline`
+installed at the chosen sim-time scrape interval, so one invocation
+prints the full observability story: the per-series sparkline
+dashboard, the SLO monitor's burn-rate alerts (checked against the
+availability timeline by the scenario oracle), and the derived
+per-entity health timelines. ``--json`` emits one canonical JSON
+document per scenario instead — metric timelines, SLO state, and
+health intervals under sorted keys, byte-stable for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..bench.report import format_metrics_dashboard
+from ..ha.scenarios import SCENARIOS
+from .metrics import MetricsPipeline
+from .slo import HealthTimeline
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Fleet HA scenarios under live telemetry: sim-time "
+        "metric scrapes, SLO burn-rate alerting, and per-shard health "
+        "timelines.",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="+",
+        choices=sorted(SCENARIOS) + ["all"],
+        help="scenario names, or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    parser.add_argument(
+        "--interval-ns",
+        type=float,
+        default=100_000.0,
+        help="sim-time scrape interval in ns (default 100000 = 100 us)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the ARIES/RDMA recovery baselines in join-leave",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print metrics + SLO + health as canonical JSON",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(SCENARIOS) if "all" in args.scenarios else args.scenarios
+    failed = 0
+    for name in names:
+        kwargs: dict = {}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if name == "join-leave" and args.quick:
+            kwargs["with_baselines"] = False
+        pipeline = MetricsPipeline(scrape_interval_ns=args.interval_ns)
+        try:
+            with pipeline:
+                result = SCENARIOS[name](**kwargs)
+            pipeline.check_consistent()
+        except Exception as exc:  # surfaced per-scenario, keep going
+            print(f"{name}: FAILED — {exc}", file=sys.stderr)
+            failed += 1
+            continue
+        health = HealthTimeline.derive(pipeline)
+        if args.json:
+            payload = {
+                "scenario": name,
+                "seed": result.seed,
+                "metrics": json.loads(pipeline.to_json()),
+                "slo": result.slo,
+                "health": health.to_dict(),
+            }
+            print(json.dumps(payload, sort_keys=True, indent=2))
+        else:
+            print(f"{name} (seed {result.seed}):")
+            for line in result.summary_lines():
+                print(line)
+            print(format_metrics_dashboard(pipeline, title=f"{name} metrics"))
+            for line in health.summary_lines():
+                print(line)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

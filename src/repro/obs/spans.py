@@ -211,6 +211,11 @@ class SpanTracer:
         self._stack: list[Span] = []
         self._next_id = 0
         self._end_seq = 0
+        #: Spans ever marked abandoned (crash semantics + exception pops).
+        self.abandoned_total = 0
+        #: ``add_ns`` charges that arrived with nothing attached — the
+        #: metrics pipeline surfaces this so the drops are never silent.
+        self.dropped_costs = 0
 
     # -- recording (only reached when the tracer is installed) --------------------
 
@@ -335,10 +340,12 @@ class SpanTracer:
 
         The cheap alternative to a span per memory access: the
         critical-path decomposition carves these out of the enclosing
-        span's self-time. Dropped silently when nothing is attached.
+        span's self-time. Dropped (but counted in
+        :attr:`dropped_costs`) when nothing is attached.
         """
         stack = self._stack
         if not stack:
+            self.dropped_costs += 1
             return
         span = stack[-1]
         costs = span.costs
@@ -375,6 +382,7 @@ class SpanTracer:
         span.status = _ABANDONED
         self._end_seq += 1
         span.end_seq = self._end_seq
+        self.abandoned_total += 1
 
     def abandon_open(self) -> int:
         """Mark every still-open span abandoned (crash semantics).

@@ -207,6 +207,8 @@ def _stress_shard(
     from ..analysis.memsan import MemSan
     from ..bench.harness import build_sharing_setup
     from ..obs import (
+        MetricsError,
+        MetricsPipeline,
         SpanTracer,
         Tracer,
         assert_span_invariants,
@@ -223,18 +225,25 @@ def _stress_shard(
     )
     repro = stress_repro_cmd(system, seed_start, n_seeds)
     accesses = releases = spans_checked = ms_accesses = 0
+    metrics_scrapes = metrics_samples = 0
     for seed in range(seed_start, seed_start + n_seeds):
         # A fresh per-schedule MemSan also exercises its mid-run install
         # (pre-existing cache copies are adopted, not reported).
         ms = MemSan()
         ms.watch_setup(setup)
+        # Likewise a fresh per-seed metrics pipeline: crash-safe scrapes
+        # and deterministic scrape/sample totals are part of the merged
+        # serial-vs-jobs byte-identity contract.
+        pipeline = MetricsPipeline()
         try:
             if fail_seed == seed:
                 raise StressCheckError("forced failure (fail_seed)")
             with ms, Tracer() as tracer, SpanTracer() as span_tracer:
-                _run_schedule(
-                    setup, random.Random(seed), oracle, keys, ops_per_seed
-                )
+                with pipeline:
+                    _run_schedule(
+                        setup, random.Random(seed), oracle, keys, ops_per_seed
+                    )
+                    pipeline.flush(setup.sim.now)
         except StressCheckError as exc:
             result.failures.append(f"seed {seed}: {exc} [repro: {repro}]")
             continue
@@ -247,7 +256,8 @@ def _stress_shard(
         try:
             stats = assert_trace_invariants(tracer)
             span_stats = assert_span_invariants(span_tracer)
-        except AssertionError as exc:
+            pipeline.check_consistent()
+        except (AssertionError, MetricsError) as exc:
             result.failures.append(
                 f"seed {seed}: invariant: {exc} [repro: {repro}]"
             )
@@ -255,11 +265,15 @@ def _stress_shard(
         accesses += stats.accesses_checked
         releases += stats.releases_checked
         spans_checked += span_stats.spans
+        metrics_scrapes += pipeline.scrapes
+        metrics_samples += pipeline.samples_published
     result.counters = {
         "accesses": accesses,
         "releases": releases,
         "spans": spans_checked,
         "memsan_accesses": ms_accesses,
+        "metrics_scrapes": metrics_scrapes,
+        "metrics_samples": metrics_samples,
     }
     # Convergence: every node agrees with the oracle at the end.
     sample = sorted(

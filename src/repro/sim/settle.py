@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..obs.metrics import active as metrics_active
 from ..obs.spans import Span, active as spans_active
 from .core import Simulator
 from .resources import Pipe
@@ -100,6 +101,15 @@ class ChargeSettler:
                 excess = (self.sim.now - t0) - int(total_ns)
                 if excess > 0:
                     spans.record("pipe_wait", "settle", parent=span, ns=excess)
+        # Settling is where simulated time advances for every workload,
+        # scenario and sweep alike — the natural pull point for the
+        # live metrics scrape clock (which never advances time itself).
+        mp = metrics_active()
+        if mp is not None:
+            if transfers:
+                for pipe, _, _, _ in batches.values():
+                    mp.gauge("pipe.backlog_ns", pipe.backlog_ns, pipe=pipe.name)
+            mp.maybe_scrape(self.sim.now)
 
     def settle_serial(self) -> Generator:
         """Like :meth:`settle`, but transfers run one after another.
@@ -120,3 +130,6 @@ class ChargeSettler:
                 pipe.transfer(charge.nbytes, int(charge.base_ns)) for pipe in routed
             ]
             yield self.sim.all_of(events)
+        mp = metrics_active()
+        if mp is not None:
+            mp.maybe_scrape(self.sim.now)

@@ -25,6 +25,7 @@ from ..db.engine import Engine
 from ..faults.injector import InjectedCrash
 from ..hardware.host import Host
 from ..hardware.memory import AccessMeter
+from ..obs.metrics import active as metrics_active
 from ..obs.spans import active as spans_active
 from ..obs.spans import attached as span_attached
 from ..sim.core import Event, Simulator
@@ -171,6 +172,11 @@ class PoolingDriver:
             # several simulators, and a stale clock from a previous sim
             # would stamp nonsense wall times on this run's spans.
             spans.attach_clock(lambda: self.sim.now)
+        mp = metrics_active()
+        if mp is not None:
+            # Same reasoning as the span clock: a pipeline shared across
+            # simulators must re-align its scrape grid to this run.
+            mp.anchor(self.sim.now)
         pipes_by_key = _collect_pipes([ictx.host for ictx in self.instances])
         all_pipes = [pipe for pipes in pipes_by_key.values() for pipe in pipes]
         barrier = _Barrier(
@@ -216,6 +222,10 @@ class PoolingDriver:
             self._queries += stats.queries
             if self.timeline is not None:
                 self.timeline.record(self.sim.now, stats.queries)
+            mp = metrics_active()
+            if mp is not None:
+                mp.observe("txn.latency_ns", self.sim.now - start, driver="pooling")
+                mp.count("txn.completions", 1.0, driver="pooling")
             self._end_ns = max(self._end_ns, self.sim.now)
 
     def _one_txn(self, ictx: InstanceCtx, rng: WorkloadRng):
@@ -272,6 +282,9 @@ class SharingDriver:
             # several simulators, and a stale clock from a previous sim
             # would stamp nonsense wall times on this run's spans.
             spans.attach_clock(lambda: self.sim.now)
+        mp = metrics_active()
+        if mp is not None:
+            mp.anchor(self.sim.now)
         pipes_by_key = _collect_pipes(self.hosts)
         all_pipes = [pipe for pipes in pipes_by_key.values() for pipe in pipes]
         barrier = _Barrier(
@@ -318,6 +331,15 @@ class SharingDriver:
             self.latency.add(self.sim.now - start)
             self._txns += 1
             self._queries += queries
+            mp = metrics_active()
+            if mp is not None:
+                mp.observe(
+                    "txn.latency_ns",
+                    self.sim.now - start,
+                    driver="sharing",
+                    node=node.node_id,
+                )
+                mp.count("txn.completions", 1.0, driver="sharing")
             self._end_ns = max(self._end_ns, self.sim.now)
 
     def _one_txn(self, node: MultiPrimaryNode, node_index: int, rng: WorkloadRng):
@@ -392,22 +414,34 @@ class FleetLoadDriver:
         spans = spans_active()
         if spans is not None:
             spans.attach_clock(lambda: self.sim.now)
+        mp = metrics_active()
+        if mp is not None:
+            mp.anchor(self.sim.now)
+            mp.gauge("fleet.live_nodes", float(len(self.live)))
 
     # -- membership ------------------------------------------------------------
 
+    def _gauge_live(self) -> None:
+        mp = metrics_active()
+        if mp is not None:
+            mp.gauge("fleet.live_nodes", float(len(self.live)))
+
     def mark_dead(self, index: int) -> None:
         self.live.discard(index)
+        self._gauge_live()
 
     def mark_live(self, index: int) -> None:
         if not 0 <= index < len(self.setup.nodes):
             raise IndexError(f"node index {index} out of range")
         self.live.add(index)
+        self._gauge_live()
 
     def add_node(self, node: MultiPrimaryNode) -> int:
         """Register a node already appended to ``setup.nodes`` (a fleet
         join) and return its routing index."""
         index = self.setup.nodes.index(node)
         self.live.add(index)
+        self._gauge_live()
         return index
 
     def route(self, preferred: int) -> int:
@@ -429,16 +463,24 @@ class FleetLoadDriver:
         try:
             if op.kind == "select":
                 row = self.sim.run_process(node.point_select(op.table, op.key))
-                return ("ok", target, row)
-            if op.kind == "update":
+                outcome: tuple[str, int, object] = ("ok", target, row)
+            elif op.kind == "update":
                 found = self.sim.run_process(
                     node.point_update(op.table, op.key, op.field, op.value)
                 )
-                return ("ok", target, found)
-            raise ValueError(f"unknown fleet op kind {op.kind!r}")
+                outcome = ("ok", target, found)
+            else:
+                raise ValueError(f"unknown fleet op kind {op.kind!r}")
         except InjectedCrash:
             self.crashes_seen += 1
-            return ("crashed", target, None)
+            outcome = ("crashed", target, None)
+        mp = metrics_active()
+        if mp is not None:
+            mp.count(
+                "fleet.client_ops", 1.0, kind=op.kind, status=outcome[0]
+            )
+            mp.maybe_scrape(self.sim.now)
+        return outcome
 
 
 def _merge_counters(meters: Sequence[AccessMeter]) -> dict[str, float]:

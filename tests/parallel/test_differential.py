@@ -37,6 +37,22 @@ def test_stress_40_seeds_parallel_bytes_match_serial():
     assert totals["accesses"] > 40 and totals["memsan_accesses"] > 40
 
 
+def test_stress_metrics_counters_parallel_bytes_match_serial():
+    # Every stress seed runs under its own MetricsPipeline; the scrape
+    # and sample totals are part of the merged counters, so serial and
+    # --jobs runs must agree on the telemetry byte for byte — a scrape
+    # taken in one mode but not the other is a determinism bug.
+    kwargs = dict(system="cxl", n_seeds=8, shard_size=4, base_seed=500)
+    serial = run_sharing_stress(jobs=1, **kwargs)
+    parallel = run_sharing_stress(jobs=2, **kwargs)
+    assert serial.ok, serial.failures
+    assert serial.to_json() == parallel.to_json()
+    totals = serial.totals()
+    assert totals["metrics_scrapes"] > 0
+    assert totals["metrics_samples"] > 0
+    assert totals["metrics_scrapes"] == parallel.totals()["metrics_scrapes"]
+
+
 def test_forced_failure_surfaces_seed_and_serial_repro():
     report = run_sharing_stress(
         system="cxl", n_seeds=10, shard_size=5, jobs=4, fail_seed=1007

@@ -18,6 +18,8 @@ import repro.faults.injector
 import repro.hardware.cache
 import repro.hardware.memory
 import repro.obs.counters
+import repro.obs.metrics
+import repro.obs.slo
 import repro.obs.spans
 import repro.obs.trace
 import repro.sim.core
@@ -36,6 +38,8 @@ DOCUMENTED_MODULES = [
     repro.bench.scale,
     repro.obs.trace,
     repro.obs.counters,
+    repro.obs.metrics,
+    repro.obs.slo,
     repro.obs.spans,
     repro.faults.injector,
 ]
