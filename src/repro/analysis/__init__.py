@@ -3,8 +3,11 @@
 * :mod:`repro.analysis.memsan` — CXL-MemSan, a vector-clock
   happens-before race detector over the simulated software
   cache-coherency protocol.
+* :mod:`repro.analysis.explore` — CXL-Explore, exhaustive schedule
+  exploration of the sharing protocol with sleep-set partial-order
+  reduction (``python -m repro.analysis explore``).
 * :mod:`repro.analysis.lint` — the protocol-discipline AST lint
-  (``python -m repro.analysis lint``), rules REPRO001–REPRO005.
+  (``python -m repro.analysis lint``), rules REPRO001–REPRO006.
 """
 
 from .memsan import (

@@ -1,9 +1,10 @@
-"""CLI: static checks.
+"""CLI: static checks and schedule exploration.
 
 ::
 
     python -m repro.analysis lint [paths...]     # protocol lint (default: src)
     python -m repro.analysis docs FILE.md ...    # documented-CLI consistency
+    python -m repro.analysis explore [...]       # exhaustive schedule explorer
 """
 
 from __future__ import annotations
@@ -15,14 +16,23 @@ def main(argv: list[str]) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print("usage: python -m repro.analysis lint [paths...]   (default: src)")
         print("       python -m repro.analysis docs FILE.md [FILE.md...]")
+        print(
+            "       python -m repro.analysis explore [--config NAME] "
+            "[--quick] [--mutations] [--replay TOKEN] [--list]"
+        )
         return 0 if argv else 2
     if argv[0] == "docs":
         from .docs_cli import main as docs_main
 
         return docs_main(argv[1:])
+    if argv[0] == "explore":
+        from .explore import main as explore_main
+
+        return explore_main(argv[1:])
     if argv[0] != "lint":
         raise SystemExit(
-            f"unknown analysis command: {argv[0]!r} (try 'lint' or 'docs')"
+            f"unknown analysis command: {argv[0]!r} "
+            "(try 'lint', 'docs', or 'explore')"
         )
     from .lint import main as lint_main
 

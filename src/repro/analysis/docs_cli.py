@@ -203,9 +203,28 @@ def _check_obs(tokens: list[str]) -> Optional[str]:
 
 
 def _check_analysis(tokens: list[str]) -> Optional[str]:
-    if not tokens or tokens[0] not in ("lint", "docs"):
-        return "repro.analysis needs a 'lint' or 'docs' subcommand"
-    return None  # the rest are free-form paths
+    if not tokens or tokens[0] not in ("lint", "docs", "explore"):
+        return "repro.analysis needs a 'lint', 'docs' or 'explore' subcommand"
+    if tokens[0] != "explore":
+        return None  # the rest are free-form paths
+    from .explore import CONFIGS, EXPLORE_FLAGS, MUTATIONS, TOYS
+
+    problem = _scan(tokens[1:], set(), EXPLORE_FLAGS, "explore")
+    if problem is not None:
+        return problem
+    names = set(CONFIGS) | set(TOYS) | {"all"}
+    names |= {f"{c}+{m}" for c in CONFIGS for m in MUTATIONS}
+    if "--config" in tokens:
+        value = tokens[tokens.index("--config") + 1]
+        if value not in names and not _is_placeholder(value):
+            return f"unknown explore config {value!r}"
+    if "--replay" in tokens:
+        # A replay token is "<config[+mutation]>:<choices>", often quoted.
+        value = tokens[tokens.index("--replay") + 1].strip("'\"")
+        base = value.partition(":")[0]
+        if base not in names and not _is_placeholder(value):
+            return f"unknown explore config in replay token {value!r}"
+    return None
 
 
 _VALIDATORS: dict[str, Callable[[list[str]], Optional[str]]] = {

@@ -25,6 +25,15 @@ where a violation is intentional:
   inside a generator must re-raise: swallowing ``GeneratorExit`` or an
   ``InjectedCrash`` inside sim-yielding code corrupts the sweep's
   crash semantics.
+* ``REPRO006`` — in the protocol layers (``core/``, ``ha/``,
+  ``baselines/``), no iteration over a ``set`` (or ``dict``/
+  ``.keys()``) of node/page/sharer/lock state without ``sorted(...)``:
+  set order for str keys depends on the process hash seed and dict
+  insertion order on the schedule, so an unsorted walk diverges across
+  the explorer's replay processes (``repro.analysis.explore``) and the
+  parallel sweep shards. Membership tests and ``.items()``/
+  ``.values()`` aggregation are fine; only the *iteration order*
+  hazard is flagged.
 
 Suppressions::
 
@@ -45,7 +54,7 @@ from ..faults.points import REGISTERED_POINTS
 
 __all__ = ["Finding", "lint_paths", "lint_source", "main"]
 
-RULES = ("REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005")
+RULES = ("REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005", "REPRO006")
 
 _TIME_FORBIDDEN = frozenset(
     {
@@ -65,6 +74,15 @@ _POINT_CALLS = frozenset({"crash_point", "point", "arm"})
 _FLAG_ADDR_NAMES = frozenset(
     {"invalid_addr", "removal_addr", "invalid_addrs", "removal_addrs"}
 )
+
+# REPRO006: identifiers that look like shared node/page/sharer/lock
+# state, and the source directories where their iteration order is a
+# replay hazard.
+_SCHED_VOCAB = re.compile(r"node|page|sharer|lock", re.IGNORECASE)
+_SCHED_DIRS = re.compile(r"repro[\\/](core|ha|baselines)[\\/]")
+_SET_CTORS = frozenset({"set", "frozenset"})
+_DICT_CTORS = frozenset({"dict", "OrderedDict", "defaultdict", "Counter"})
+_ITER_WRAPPERS = frozenset({"list", "tuple", "iter"})
 
 _PRAGMA_LINE = re.compile(r"#\s*repro-lint:\s*allow\(([A-Z0-9,\s]+)\)")
 _PRAGMA_FILE = re.compile(r"#\s*repro-lint:\s*allow-file\(([A-Z0-9,\s]+)\)")
@@ -108,6 +126,66 @@ def _has_bare_raise(body: Iterable[ast.stmt]) -> bool:
     return False
 
 
+def _last_ident(node: ast.AST) -> Optional[str]:
+    """The trailing identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _ann_root(node: ast.AST) -> Optional[str]:
+    """Leftmost name of an annotation: ``dict[int, set[str]]`` → dict."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return _last_ident(node)
+
+
+_SET_ANN = frozenset({"set", "Set", "frozenset", "FrozenSet", "MutableSet"})
+_DICT_ANN = frozenset(
+    {"dict", "Dict", "OrderedDict", "DefaultDict", "defaultdict", "Counter"}
+)
+
+
+def _collect_collections(tree: ast.AST) -> tuple[set[str], set[str]]:
+    """Identifiers statically known to hold a set / dict anywhere in the
+    module (assignment from a constructor or literal, or an annotation);
+    attribute and plain names share one namespace (``self._sharers`` →
+    ``_sharers``)."""
+    sets: set[str] = set()
+    dicts: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            root = _ann_root(node.annotation)
+            ident = _last_ident(node.target)
+            if ident is None or root is None:
+                continue
+            if root in _SET_ANN:
+                sets.add(ident)
+            elif root in _DICT_ANN:
+                dicts.add(ident)
+        elif isinstance(node, ast.Assign):
+            value = node.value
+            kind: Optional[str] = None
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+                if value.func.id in _SET_CTORS:
+                    kind = "set"
+                elif value.func.id in _DICT_CTORS:
+                    kind = "dict"
+            elif isinstance(value, (ast.Set, ast.SetComp)):
+                kind = "set"
+            elif isinstance(value, (ast.Dict, ast.DictComp)):
+                kind = "dict"
+            if kind is None:
+                continue
+            for target in node.targets:
+                ident = _last_ident(target)
+                if ident is not None:
+                    (sets if kind == "set" else dicts).add(ident)
+    return sets, dicts
+
+
 def _mentions_flag_addr(node: ast.AST) -> bool:
     for sub in ast.walk(node):
         if isinstance(sub, ast.Name) and sub.id in _FLAG_ADDR_NAMES:
@@ -118,9 +196,19 @@ def _mentions_flag_addr(node: ast.AST) -> bool:
 
 
 class _Checker(ast.NodeVisitor):
-    def __init__(self, path: str, is_coherency: bool) -> None:
+    def __init__(
+        self,
+        path: str,
+        is_coherency: bool,
+        sched_layer: bool = False,
+        set_names: Optional[set[str]] = None,
+        dict_names: Optional[set[str]] = None,
+    ) -> None:
         self.path = path
         self.is_coherency = is_coherency
+        self.sched_layer = sched_layer
+        self._set_names = set_names or set()
+        self._dict_names = dict_names or set()
         self.findings: list[Finding] = []
         self.crash_points: list[tuple[int, str]] = []
         self._fn_stack: list[_FuncNode] = []
@@ -291,6 +379,73 @@ class _Checker(ast.NodeVisitor):
             "use attached(...): a pushed span leaks across yields",
         )
 
+    # -- iteration order (REPRO006) --------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter_order(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", ()):
+            self._check_iter_order(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def _check_iter_order(self, expr: ast.AST) -> None:
+        if not self.sched_layer:
+            return
+        # list()/tuple()/iter() preserve order: see through them.
+        while (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in _ITER_WRAPPERS
+            and len(expr.args) == 1
+        ):
+            expr = expr.args[0]
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "sorted"
+        ):
+            return
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "keys"
+            and not expr.args
+        ):
+            ident = _last_ident(expr.func.value)
+            if ident is not None and _SCHED_VOCAB.search(ident):
+                self._flag(
+                    expr,
+                    "REPRO006",
+                    f"unsorted iteration over {ident}.keys(): dict order is "
+                    f"schedule-dependent; wrap in sorted(...) so explorer "
+                    f"replays and parallel shards stay deterministic",
+                )
+            return
+        ident = _last_ident(expr)
+        if ident is None or not _SCHED_VOCAB.search(ident):
+            return
+        if ident in self._set_names:
+            kind = "set"
+        elif ident in self._dict_names:
+            kind = "dict"
+        else:
+            return
+        self._flag(
+            expr,
+            "REPRO006",
+            f"unsorted iteration over {kind} {ident!r} (node/page/sharer "
+            f"state): {kind} order is schedule- and hash-seed-dependent; "
+            f"wrap in sorted(...) so explorer replays and parallel shards "
+            f"stay deterministic",
+        )
+
     # -- except handlers (REPRO005) --------------------------------------
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -336,8 +491,13 @@ def lint_source(
 ) -> tuple[list[Finding], list[tuple[int, str]]]:
     """Lint one module's source; returns (findings, crash-point literals)."""
     is_coherency = path.replace("\\", "/").endswith("core/coherency.py")
-    checker = _Checker(path, is_coherency)
-    checker.visit(ast.parse(source, filename=path))
+    tree = ast.parse(source, filename=path)
+    sched_layer = bool(_SCHED_DIRS.search(path))
+    set_names, dict_names = (
+        _collect_collections(tree) if sched_layer else (set(), set())
+    )
+    checker = _Checker(path, is_coherency, sched_layer, set_names, dict_names)
+    checker.visit(tree)
     file_rules, line_rules = _pragmas(source)
     findings = [
         finding

@@ -645,6 +645,13 @@ class MemSan:
 
     # -- locks and RPCs (core/sharing.py, core/fusion.py) ----------------
 
+    def lock_requested(self, lock_id: object) -> None:
+        """A waiter joined (or bypassed) the lock's grant queue.
+
+        No clock effect — queue position grants no happens-before — but
+        the *order* of enqueues decides the grant order, so the schedule
+        explorer (:mod:`.explore`) needs to see it as a conflict."""
+
     def lock_acquired(self, actor: str, lock_id: object) -> None:
         self._acquire(actor, ("lock", str(lock_id)))
 

@@ -314,6 +314,7 @@ def build_sharing_setup(
     cost: Optional[CostModel] = None,
     lbp_min_pages: int = _LBP_MIN_PAGES,
     n_shards: int = 1,
+    loader_pool_pages: int = 16384,
 ) -> SharingSetup:
     """Build a multi-primary cluster over one shared dataset.
 
@@ -326,6 +327,12 @@ def build_sharing_setup(
     that many fusion servers by hash of page id and installs a
     :class:`~repro.core.shard_router.FusionShardRouter` as
     ``setup.fusion`` — the node stack is identical either way.
+
+    ``loader_pool_pages`` sizes the throwaway load-time buffer pool.
+    The default comfortably holds every benchmark dataset; callers that
+    rebuild many tiny clusters (the schedule explorer re-runs one build
+    per explored interleaving) shrink it so construction is not
+    dominated by zeroing an oversized loader region.
     """
     if system not in ("cxl", "rdma", "cxl3"):
         raise ValueError(f"unknown sharing system {system!r}")
@@ -351,11 +358,11 @@ def build_sharing_setup(
     loader_meter = AccessMeter()
     store = PageStore(PAGE_SIZE, loader_meter, config=config)
     loader_log = RedoLog(loader_meter, config=config)
-    load_region = loader_host.alloc_dram("load", 16384 * PAGE_SIZE)
+    load_region = loader_host.alloc_dram("load", loader_pool_pages * PAGE_SIZE)
     load_pool = LocalBufferPool(
         loader_host.map_dram(load_region, loader_meter, LineCacheModel()),
         store,
-        16384,
+        loader_pool_pages,
     )
     loader = Engine("loader", load_pool, store, loader_log, loader_meter, cost=cost)
     loader.initialize()

@@ -43,7 +43,7 @@ from ..hardware.memory import (
 )
 from ..obs.spans import SpanTracer
 from ..obs.trace import Tracer
-from ..sim.core import Simulator
+from ..sim.core import SchedulerHook, Simulator
 from ..sim.latency import CACHE_LINE, LatencyConfig
 
 __all__ = ["run_perf", "main"]
@@ -574,18 +574,54 @@ def check_kernel_order(n_events: int = 5_000) -> None:
     ref_sim = _RefSimulator()
     ref_log: list = []
     ref_now = drive(ref_sim, lambda: _RefEvent(ref_sim), ref_log)
-    if opt_now != ref_now:
+    hook_sim = Simulator()
+    hook_sim.scheduler = SchedulerHook()  # default strategy, hooked path
+    hook_log: list = []
+    hook_now = drive(hook_sim, hook_sim.event, hook_log)
+    if opt_now != ref_now or hook_now != ref_now:
         raise AssertionError(
-            f"kernel clocks diverged: {opt_now} != {ref_now}"
+            f"kernel clocks diverged: opt {opt_now} / hooked {hook_now} "
+            f"!= ref {ref_now}"
         )
-    if opt_log != ref_log:
+    for tag, log in (("optimized", opt_log), ("hooked", hook_log)):
+        if log == ref_log:
+            continue
         first = next(
-            i for i, (a, b) in enumerate(zip(opt_log, ref_log)) if a != b
+            i for i, (a, b) in enumerate(zip(log, ref_log)) if a != b
         )
         raise AssertionError(
-            "kernel firing order diverged from the heap reference at "
-            f"event {first}: {opt_log[first]} != {ref_log[first]}"
+            f"{tag} kernel firing order diverged from the heap reference "
+            f"at event {first}: {log[first]} != {ref_log[first]}"
         )
+
+
+def bench_explore() -> dict:
+    """Schedule-exploration throughput and pruning effectiveness.
+
+    Exhaustively explores the mixed-dependency toy program (the
+    property-test config with a known trace-minimal schedule count) and
+    the flagship ``cxl-2p1pg`` protocol config, recording schedules/sec
+    and the explored/naive pruning ratios the CI gate rides on.
+    """
+    from ..analysis.explore import explore_config
+
+    start = time.perf_counter()
+    toy = explore_config("toy-mixed")
+    protocol = explore_config("cxl-2p1pg")
+    wall_s = time.perf_counter() - start
+    schedules = toy.schedules + protocol.schedules
+    return {
+        "toy_schedules": toy.schedules,
+        "toy_naive": toy.naive_estimate,
+        "toy_ratio": round(toy.pruning_ratio, 6),
+        "protocol_schedules": protocol.schedules,
+        "protocol_runs": protocol.runs,
+        "protocol_naive": protocol.naive_estimate,
+        "protocol_ratio": round(protocol.pruning_ratio, 6),
+        "clean": toy.ok and protocol.ok,
+        "wall_s": round(wall_s, 4),
+        "schedules_per_sec": round(schedules / wall_s, 1),
+    }
 
 
 def check_equivalence(n_accesses: int = 20_000) -> None:
@@ -646,6 +682,7 @@ def run_perf(quick: bool = False, jobs: int = 0) -> dict:
     mt_off, mt_on = bench_metrics_overhead(n_accesses)
     sweep_parallel = bench_sweep_parallel(limit=3 if quick else 8, jobs=jobs)
     fig7 = bench_fig7_slice()
+    explore = bench_explore()
 
     return {
         "schema": 1,
@@ -695,6 +732,7 @@ def run_perf(quick: bool = False, jobs: int = 0) -> dict:
         },
         "sweep_parallel": sweep_parallel,
         "fig7_slice": fig7,
+        "explore": explore,
         "notes": (
             "reference_per_sec re-measures the frozen pre-optimization "
             "implementations in-process; speedups are machine-independent. "
@@ -721,6 +759,10 @@ PARALLEL_GATE_MIN_CORES = 4
 # must be at least this much faster than installed-and-scraping —
 # i.e. disabled telemetry stays (nearly) free.
 METRICS_DISABLED_MIN_SPEEDUP = 1.5
+# Sleep-set pruning must keep exhaustive exploration of the mixed-
+# dependency property config at or below this fraction of the naive
+# interleaving count.
+EXPLORE_MAX_RATIO = 0.25
 
 
 def main(argv: list[str]) -> int:
@@ -786,6 +828,14 @@ def main(argv: list[str]) -> int:
         f"  {'fig7 slice':16s} {fig7['wall_s']}s wall, qps={fig7['qps']}, "
         f"{fig7['events_scheduled']} events "
         f"({fig7['events_per_wall_second']:,}/wall-s)"
+    )
+    ex = report["explore"]
+    print(
+        f"  {'explore':16s} toy {ex['toy_schedules']}/{ex['toy_naive']} "
+        f"(ratio {ex['toy_ratio']}), protocol "
+        f"{ex['protocol_schedules']}/{ex['protocol_naive']} "
+        f"(ratio {ex['protocol_ratio']}), "
+        f"{ex['schedules_per_sec']} schedules/s, clean={ex['clean']}"
     )
 
     burst = report["event_burst"]["speedup"]
@@ -879,6 +929,26 @@ def main(argv: list[str]) -> int:
     print(
         f"OK: metrics-disabled ops {metrics_disabled:.2f}x >= "
         f"{METRICS_DISABLED_MIN_SPEEDUP:.2f}x gate"
+    )
+    ex = report["explore"]
+    if not ex["clean"]:
+        print(
+            "FAIL: schedule exploration reported protocol violations — "
+            "run `python -m repro.analysis explore` for replay tokens",
+            file=sys.stderr,
+        )
+        return 1
+    if ex["toy_ratio"] > EXPLORE_MAX_RATIO:
+        print(
+            f"FAIL: explore pruning ratio {ex['toy_ratio']} exceeds the "
+            f"{EXPLORE_MAX_RATIO} gate — happens-before pruning lost its "
+            f"edge over naive enumeration (see DESIGN.md §14)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: explore pruning ratio {ex['toy_ratio']} <= "
+        f"{EXPLORE_MAX_RATIO} gate ({ex['schedules_per_sec']} schedules/s)"
     )
     return 0
 

@@ -97,7 +97,7 @@ class SharerDirectory:
     def drop_node(self, node_id: str) -> int:
         """Forget ``node_id`` everywhere (crash / deregistration)."""
         dropped = 0
-        for page_id in list(self._sharers):
+        for page_id in sorted(self._sharers):
             if self.drop(page_id, node_id):
                 dropped += 1
         return dropped

@@ -91,6 +91,9 @@ class PageLockService:
         yield self.sim.timeout(int(self.config.lock_rpc_ns))
         lock = self._lock(page_id)
         blocked = lock.read_would_block()
+        ms = memsan_active()
+        if ms is not None:
+            ms.lock_requested(page_id)
         yield lock.acquire_read()
         if blocked:
             # The thread slept; pay the reschedule/context-switch cost.
@@ -105,6 +108,9 @@ class PageLockService:
         yield self.sim.timeout(int(self.config.lock_rpc_ns))
         lock = self._lock(page_id)
         blocked = lock.write_would_block()
+        ms = memsan_active()
+        if ms is not None:
+            ms.lock_requested(page_id)
         yield lock.acquire_write()
         if blocked:
             yield self.sim.timeout(int(self.config.lock_wakeup_ns))

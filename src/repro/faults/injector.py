@@ -23,6 +23,7 @@ the node side) is exercised.
 from __future__ import annotations
 
 import random
+from types import TracebackType
 from typing import Callable, Optional
 
 __all__ = [
@@ -184,7 +185,12 @@ class FaultInjector:
         install(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         uninstall(self)
 
 

@@ -49,6 +49,10 @@ import json
 import random
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..bench.harness import SharingSetup
 
 from ..analysis.memsan import MemSan
 from ..analysis.memsan import active as memsan_active
@@ -401,7 +405,7 @@ def _recover(scenario: _Scenario) -> Engine:
     return engine
 
 
-def _golden_tracer():
+def _golden_tracer() -> Tracer | None:
     """A tracer for the golden run, unless one is already installed.
 
     The golden run of every sweep doubles as a protocol-invariant check:
@@ -412,7 +416,7 @@ def _golden_tracer():
     return Tracer() if obs_active() is None else None
 
 
-def _sweep_spans():
+def _sweep_spans() -> SpanTracer | None:
     """A span tracer for one sweep coordinate, unless one is installed.
 
     Every crash-and-recover run doubles as a span-balance check: the
@@ -422,7 +426,7 @@ def _sweep_spans():
     return SpanTracer() if spans_active() is None else None
 
 
-def _sweep_metrics():
+def _sweep_metrics() -> MetricsPipeline | None:
     """A metrics pipeline for one sweep coordinate, unless one is installed.
 
     Every crash-and-recover run doubles as a crash-safe-scrape check: a
@@ -433,7 +437,7 @@ def _sweep_metrics():
     return MetricsPipeline() if metrics_active() is None else None
 
 
-def _crash_scrape(pipeline, now_ns: float) -> None:
+def _crash_scrape(pipeline: MetricsPipeline | None, now_ns: float) -> None:
     """Crash semantics for metrics: scrape exactly at the crash point.
 
     The engine died mid-protocol-step; the pipeline must still hand out
@@ -444,14 +448,14 @@ def _crash_scrape(pipeline, now_ns: float) -> None:
         mp.maybe_scrape(now_ns)
 
 
-def _crash_abandon(span_tracer) -> None:
+def _crash_abandon(span_tracer: SpanTracer | None) -> None:
     """Crash semantics for spans: whatever was open can never end."""
     tracer = span_tracer if span_tracer is not None else spans_active()
     if tracer is not None:
         tracer.abandon_open()
 
 
-def _check_spans(span_tracer, allow_abandoned: bool) -> None:
+def _check_spans(span_tracer: SpanTracer | None, allow_abandoned: bool) -> None:
     if span_tracer is not None:
         assert_span_invariants(span_tracer, allow_abandoned=allow_abandoned)
 
@@ -695,7 +699,7 @@ def _sharing_ops() -> list[tuple]:
     return ops
 
 
-def _build_sharing(seed: int, n_shards: int = 1):
+def _build_sharing(seed: int, n_shards: int = 1) -> SharingSetup:
     from ..bench.harness import build_sharing_setup
     from ..workloads.sysbench import SysbenchWorkload
 
@@ -703,7 +707,7 @@ def _build_sharing(seed: int, n_shards: int = 1):
     return build_sharing_setup("cxl", 2, workload, seed=seed, n_shards=n_shards)
 
 
-def _sharing_prephase(setup) -> dict:
+def _sharing_prephase(setup: SharingSetup) -> dict:
     """Uninjected warm-up: the reader touches every sweep key (registers
     the pages with the fusion server) and records the loaded values."""
     reader = setup.nodes[1]
@@ -717,8 +721,8 @@ def _sharing_prephase(setup) -> dict:
 
 
 def _run_sharing_ops(
-    setup, ops: list[tuple], model: dict, snapshots: dict[int, dict],
-    executing: list,
+    setup: SharingSetup, ops: list[tuple], model: dict,
+    snapshots: dict[int, dict], executing: list,
 ) -> None:
     writer_redo = setup.nodes[0].engine.redo_log
     snapshots[writer_redo.durable_max_lsn] = dict(model)
@@ -734,7 +738,7 @@ def _run_sharing_ops(
             setup.sim.run_process(node.point_select(_SHARED_TABLE, op[2]))
 
 
-def _sweep_memsan(setup) -> MemSan | None:
+def _sweep_memsan(setup: SharingSetup) -> MemSan | None:
     """A race detector over the shared CXL region for one sweep run,
     unless the caller already installed one (then their instance covers
     the run). Single-node sweeps are not worth watching: with one actor
@@ -791,13 +795,13 @@ def _sharing_crash_and_failover(
 
 
 def _sharing_crash_inner(
-    setup,
+    setup: SharingSetup,
     point: str,
     hit: int,
     golden: _GoldenRun,
     model: dict,
     injector: FaultInjector,
-    span_tracer,
+    span_tracer: SpanTracer | None,
     ms: MemSan | None,
 ) -> SweepOutcome:
     executing = [0]
@@ -916,7 +920,7 @@ _STORM_CRASH_POINT = "sharing.flush.lines"
 _STORM_CRASH_HIT = 5
 
 
-def _storm_failover(setup, actor: str = "failover") -> None:
+def _storm_failover(setup: SharingSetup, actor: str = "failover") -> None:
     """One failover attempt, fleet-style: fusion page rebuild + lock
     breaking, then retirement of the dead node's whole durable log into
     storage (see :func:`repro.core.recovery.retire_log` — what
@@ -951,7 +955,10 @@ def _storm_failover(setup, actor: str = "failover") -> None:
                 )
 
 
-def _storm_crash_writer(setup, model: dict, seed: int, span_tracer) -> bool:
+def _storm_crash_writer(
+    setup: SharingSetup, model: dict, seed: int,
+    span_tracer: SpanTracer | None,
+) -> bool:
     """Run the canonical ops with the writer crash armed; True if it
     fired (the setup is then left with node0 dead, lock held)."""
     injector = FaultInjector(seed=seed).arm(_STORM_CRASH_POINT, _STORM_CRASH_HIT)
@@ -983,13 +990,13 @@ def _storm_crash_and_refailover(
 
 
 def _storm_inner(
-    setup,
+    setup: SharingSetup,
     point: str,
     hit: int,
     golden: _GoldenRun,
     model: dict,
     seed: int,
-    span_tracer,
+    span_tracer: SpanTracer | None,
 ) -> SweepOutcome:
     if not _storm_crash_writer(setup, model, seed, span_tracer):
         return SweepOutcome(point, hit, False, False, "writer crash never fired")

@@ -25,9 +25,12 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import asdict, dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from .runner import WorkUnit, run_units
+
+if TYPE_CHECKING:
+    from ..bench.harness import SharingSetup
 
 __all__ = [
     "StressCheckError",
@@ -115,9 +118,9 @@ def stress_repro_cmd(
     )
 
 
-def _oracle_seed(setup, keys: range) -> dict[int, int]:
+def _oracle_seed(setup: SharingSetup, keys: range) -> dict[int, int]:
     """Read the current shared-column values once, through node 0."""
-    oracle = {}
+    oracle: dict[int, int] = {}
     for key in keys:
         row = setup.sim.run_process(setup.nodes[0].point_select(TABLE, key))
         oracle[key] = row["k"]
@@ -125,7 +128,7 @@ def _oracle_seed(setup, keys: range) -> dict[int, int]:
 
 
 def _run_schedule(
-    setup,
+    setup: SharingSetup,
     rng: random.Random,
     oracle: dict[int, int],
     keys: range,

@@ -1,6 +1,14 @@
 """Simulation substrate: event loop, resources, latency calibration, stats."""
 
-from .core import Event, Process, SimError, Simulator, Timeout, run_inline
+from .core import (
+    Event,
+    Process,
+    SchedulerHook,
+    SimError,
+    Simulator,
+    Timeout,
+    run_inline,
+)
 from .latency import CACHE_LINE, CostModel, LatencyConfig
 from .resources import Mutex, Pipe, RWLock
 from .rng import WorkloadRng, ZipfGenerator
@@ -15,6 +23,7 @@ from .stats import (
 __all__ = [
     "Event",
     "Process",
+    "SchedulerHook",
     "SimError",
     "Simulator",
     "Timeout",

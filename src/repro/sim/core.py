@@ -55,6 +55,7 @@ __all__ = [
     "Event",
     "Timeout",
     "Process",
+    "SchedulerHook",
     "Simulator",
     "SimError",
     "run_inline",
@@ -63,6 +64,39 @@ __all__ = [
 
 class SimError(RuntimeError):
     """Raised for misuse of the simulation kernel."""
+
+
+class SchedulerHook:
+    """Pluggable scheduling strategy for controllable runs.
+
+    Installed via :attr:`Simulator.scheduler` *before* ``run()``, the
+    hook turns every same-tick multi-ready batch into a *decision
+    point*: the kernel fires one event at a time and asks
+    :meth:`choose` which of the runnable continuations goes next.
+    Same-tick cascades (zero-delay chains scheduled from inside a
+    firing callback) join the open decision scope of their tick, so RPC
+    admission order, lock grant order, and plain bucket ties are all
+    the same kind of choice.
+
+    The base class is the default strategy: always pick the head of the
+    ready list, which reproduces the uninstrumented kernel's scheduling
+    order bit-for-bit (pinned by ``tests/sim/test_scheduler_hook`` and
+    the perf harness's kernel-order differential). Subclasses override
+    :meth:`choose` to explore alternative interleavings and
+    :meth:`admit`/:meth:`step` to observe arrivals and firings —
+    ``repro.analysis.explore`` builds its DFS model checker on exactly
+    these three methods.
+    """
+
+    def admit(self, sim: "Simulator", events: list["Event"]) -> None:
+        """Events joined the current tick's ready list, in arrival order."""
+
+    def choose(self, sim: "Simulator", ready: list["Event"]) -> int:
+        """Pick the index of the next event to fire (``len(ready) >= 2``)."""
+        return 0
+
+    def step(self, sim: "Simulator", event: "Event") -> None:
+        """``event`` is about to fire (its callbacks run next)."""
 
 
 class Event:
@@ -282,6 +316,9 @@ class Simulator:
         self._buckets: dict[int, Union[Event, list[Event]]] = {}
         self._seq = 0
         self._processes = 0
+        # Controllable-scheduling strategy; None keeps the tuned fast
+        # path below byte-identical to the pre-hook kernel.
+        self.scheduler: Optional[SchedulerHook] = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -345,6 +382,9 @@ class Simulator:
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or simulated time reaches ``until``."""
+        if self.scheduler is not None:
+            self._run_hooked(until)
+            return
         times = self._times
         buckets = self._buckets
         heappop = heapq.heappop
@@ -386,6 +426,68 @@ class Simulator:
                     event.callbacks = []
                     for callback in callbacks:
                         callback(event)
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def _run_hooked(self, until: Optional[int]) -> None:
+        """The controllable loop: one event per step, strategy-chosen.
+
+        Semantics match :meth:`run` exactly under the default
+        head-choice strategy: the original batch fires in scheduling
+        order and same-tick cascades append behind it, which is the
+        same total order the fast path produces by draining the batch
+        and then the cascades' fresh bucket. The only difference is
+        observability — every arrival, choice, and firing flows through
+        the installed :class:`SchedulerHook`.
+        """
+        hook = self.scheduler
+        assert hook is not None
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        while times:
+            at = times[0]
+            if until is not None and at > until:
+                self.now = until
+                return
+            heappop(times)
+            self.now = at
+            entry = buckets.pop(at)
+            ready = entry if type(entry) is list else [entry]
+            hook.admit(self, ready)
+            while ready:
+                runnable = [e for e in ready if not e._cancelled]
+                if not runnable:
+                    break
+                if len(runnable) == 1:
+                    event = runnable[0]
+                else:
+                    index = hook.choose(self, runnable)
+                    if not 0 <= index < len(runnable):
+                        raise SimError(
+                            f"scheduler chose index {index} of {len(runnable)}"
+                        )
+                    event = runnable[index]
+                ready.remove(event)
+                hook.step(self, event)
+                if event._fired:
+                    raise SimError("event fired twice")
+                event._fired = True
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for callback in callbacks:
+                        callback(event)
+                # Same-tick cascades opened a fresh bucket for `at` (and
+                # re-pushed the tick); merge them into this decision
+                # scope so their ordering is a choice too.
+                extra = buckets.pop(at, None)
+                if extra is not None:
+                    popped = heappop(times)
+                    assert popped == at
+                    extra_list = extra if type(extra) is list else [extra]
+                    hook.admit(self, extra_list)
+                    ready.extend(extra_list)
         if until is not None:
             self.now = max(self.now, until)
 

@@ -259,6 +259,94 @@ def test_repro005_allows_reraise_and_plain_except():
     ) == []
 
 
+# -- REPRO006: unsorted iteration over node/page/sharer collections --------
+
+_SCHED_PATH = "src/repro/core/mod.py"
+
+
+def test_repro006_flags_set_iteration_in_protocol_layer():
+    assert rules_of(
+        """
+        class Directory:
+            def __init__(self):
+                self.sharer_nodes = set()
+            def walk(self):
+                for node_id in self.sharer_nodes:
+                    use(node_id)
+        """,
+        path=_SCHED_PATH,
+    ) == ["REPRO006"]
+
+
+def test_repro006_flags_dict_keys_and_sees_through_list():
+    assert rules_of(
+        """
+        pages = {}
+        def a():
+            for page_id in pages.keys():
+                use(page_id)
+        def b():
+            return [p for p in list(pages)]
+        """,
+        path=_SCHED_PATH,
+    ) == ["REPRO006", "REPRO006"]
+
+
+def test_repro006_allows_sorted_and_membership():
+    assert rules_of(
+        """
+        locked_pages: set[int] = set()
+        def f():
+            for page_id in sorted(locked_pages):
+                use(page_id)
+            return 3 in locked_pages
+        """,
+        path=_SCHED_PATH,
+    ) == []
+
+
+def test_repro006_ignores_unrelated_names_and_other_layers():
+    # A set without node/page/sharer vocabulary is not flagged, and the
+    # same hazard outside core/ha/baselines is out of scope.
+    assert (
+        rules_of(
+            """
+            seen = set()
+            def f():
+                for x in seen:
+                    use(x)
+            """,
+            path=_SCHED_PATH,
+        )
+        == []
+    )
+    assert (
+        rules_of(
+            """
+            nodes = set()
+            def f():
+                for x in nodes:
+                    use(x)
+            """,
+            path="src/repro/bench/mod.py",
+        )
+        == []
+    )
+
+
+def test_repro006_respects_annotations():
+    assert rules_of(
+        """
+        class Fleet:
+            def __init__(self):
+                self.node_births: dict[str, int] = {}
+            def roll(self):
+                return [self.node_births[k] for k in self.node_births]
+        """,
+        path="src/repro/ha/mod.py",
+    ) == ["REPRO006"]
+
+
 # -- pragmas ---------------------------------------------------------------
 
 
